@@ -1,0 +1,787 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Chapter 5), the correctness campaign (Chapter 6), the
+   background complexity table (2.1), and the design-choice ablations
+   called out in DESIGN.md.
+
+     dune exec bench/main.exe                 # everything, quick scale
+     dune exec bench/main.exe -- fig5.1 table5.4
+     dune exec bench/main.exe -- --full all   # larger workloads
+
+   Absolute numbers come from the simulated-PMEM machine (calibrated to the
+   Optane measurements the paper cites), so only the *shape* — who wins, by
+   what factor, where curves cross — is comparable to the paper; see
+   EXPERIMENTS.md for the paper-vs-measured record. *)
+
+module Kv = Harness.Kv
+module Driver = Harness.Driver
+module Report = Harness.Report
+module W = Ycsb.Workload
+module Stats = Sim.Stats
+
+(* ---- scale ----------------------------------------------------------------- *)
+
+type scale = {
+  threads_sweep : int list;
+  n_initial : int;
+  ops_at : int -> int;  (* total operations for a thread count *)
+  latency_threads : int;
+  latency_ops : int;
+  trials : int;
+  chapter6_trials : int;
+}
+
+let quick =
+  {
+    threads_sweep = [ 1; 2; 4; 8; 16; 32; 48; 64; 80 ];
+    n_initial = 10_000;
+    ops_at = (fun threads -> max 4_000 (threads * 120));
+    latency_threads = 80;
+    latency_ops = 12_000;
+    trials = 3;
+    chapter6_trials = 30;
+  }
+
+let full =
+  {
+    threads_sweep = [ 1; 2; 4; 8; 16; 32; 48; 64; 80; 120; 160 ];
+    n_initial = 50_000;
+    ops_at = (fun threads -> max 20_000 (threads * 400));
+    latency_threads = 80;
+    latency_ops = 60_000;
+    trials = 3;
+    chapter6_trials = 30;
+  }
+
+let scale = ref quick
+let seed = 20210811
+
+(* The paper runs the three-way comparison on the striped device. *)
+let striped_sys =
+  { Kv.default_sys with mode = Pmem.Striped; pool_words = 1 lsl 21 }
+
+let multi_sys = { Kv.default_sys with mode = Pmem.Multi_pool; pool_words = 1 lsl 21 }
+
+let bench_cfg = { Upskiplist.Config.default with keys_per_node = 64; max_height = 24 }
+
+let make_structures () =
+  [
+    ("UPSkipList", Kv.make_upskiplist ~cfg:bench_cfg striped_sys);
+    ("BzTree", Kv.make_bztree ~n_descriptors:120_000 striped_sys);
+    ("PMDK skip list", Kv.make_pmdk_list striped_sys);
+  ]
+
+(* Throughput sweep for one (structure, workload): preload once, then run
+   each thread count, [trials] seeds per point. *)
+let sweep kv ~spec =
+  let s = !scale in
+  List.map
+    (fun threads ->
+      let ops_per_thread = max 20 (s.ops_at threads / threads) in
+      Driver.throughput_trials kv ~spec ~threads ~n_initial:s.n_initial
+        ~ops_per_thread ~seed ~trials:s.trials)
+    s.threads_sweep
+
+let preload_threads = 8
+
+let throughput_figure ~title ~workloads =
+  Report.heading title;
+  let structures = make_structures () in
+  List.iter
+    (fun (_, kv) -> Driver.preload kv ~threads:preload_threads ~n:!scale.n_initial)
+    structures;
+  List.iter
+    (fun spec ->
+      let columns =
+        List.map
+          (fun (name, kv) -> (name ^ " (Mops/s)", sweep kv ~spec))
+          structures
+      in
+      Report.series
+        ~title:
+          (Printf.sprintf "Workload %s (%s, %s)" spec.W.label spec.W.name
+             "striped device")
+        ~x_label:"threads" ~x_values:!scale.threads_sweep ~columns)
+    workloads
+
+(* ---- Figures 5.1 / 5.2 ------------------------------------------------------ *)
+
+let fig_5_1 () =
+  throughput_figure
+    ~title:
+      "Figure 5.1 — throughput, YCSB A (update-heavy) and B (read-mostly)"
+    ~workloads:[ W.a; W.b ]
+
+let fig_5_2 () =
+  throughput_figure
+    ~title:"Figure 5.2 — throughput, YCSB C (read-only) and D (read-latest)"
+    ~workloads:[ W.c; W.d ]
+
+(* ---- Figure 5.3: RIV pointers vs libpmemobj fat pointers ------------------- *)
+
+let fig_5_3 () =
+  Report.heading
+    "Figure 5.3 — read-only throughput: RIV pointers (UPSkipList, 1 key/node) \
+     vs fat pointers (PMDK lock-based skip list)";
+  let cfg1 = { Upskiplist.Config.default with keys_per_node = 1; max_height = 24 } in
+  let riv = Kv.make_upskiplist ~cfg:cfg1 striped_sys in
+  let fat = Kv.make_pmdk_list ~max_height:24 striped_sys in
+  let n = !scale.n_initial / 2 in
+  Driver.preload riv ~threads:preload_threads ~n;
+  Driver.preload fat ~threads:preload_threads ~n;
+  let run kv =
+    List.map
+      (fun threads ->
+        let ops_per_thread = max 20 (!scale.ops_at threads / threads) in
+        Driver.throughput_trials kv ~spec:W.c ~threads ~n_initial:n
+          ~ops_per_thread ~seed ~trials:!scale.trials)
+      !scale.threads_sweep
+  in
+  let riv_series = run riv and fat_series = run fat in
+  Report.series ~title:"Workload C, single key per node" ~x_label:"threads"
+    ~x_values:!scale.threads_sweep
+    ~columns:
+      [
+        ("RIV pointers (Mops/s)", riv_series);
+        ("fat pointers (Mops/s)", fat_series);
+      ];
+  let ratio =
+    List.fold_left2
+      (fun acc (r, _) (f, _) -> acc +. (f /. r))
+      0.0 riv_series fat_series
+    /. float_of_int (List.length riv_series)
+  in
+  Fmt.pr "@.fat-pointer throughput as a fraction of RIV: %.2f (paper: ~0.70)@."
+    ratio
+
+(* ---- Figure 5.4 / Table 5.2: NUMA-aware pools vs striped ------------------- *)
+
+let fig_5_4 () =
+  Report.heading
+    "Figure 5.4 / Table 5.2 — UPSkipList on one pool per NUMA node \
+     (NUMA-aware) vs a single striped pool";
+  let striped = Kv.make_upskiplist ~cfg:bench_cfg striped_sys in
+  let multi = Kv.make_upskiplist ~cfg:bench_cfg multi_sys in
+  Driver.preload striped ~threads:preload_threads ~n:!scale.n_initial;
+  Driver.preload multi ~threads:preload_threads ~n:!scale.n_initial;
+  let impacts =
+    List.map
+      (fun spec ->
+        let s_series = sweep striped ~spec in
+        let m_series = sweep multi ~spec in
+        Report.series
+          ~title:(Printf.sprintf "Workload %s" spec.W.label)
+          ~x_label:"threads" ~x_values:!scale.threads_sweep
+          ~columns:
+            [
+              ("striped (Mops/s)", s_series); ("multi-pool (Mops/s)", m_series);
+            ];
+        let mean xs = List.fold_left (fun a (x, _) -> a +. x) 0.0 xs
+                      /. float_of_int (List.length xs) in
+        let impact = 100.0 *. (1.0 -. (mean m_series /. mean s_series)) in
+        (spec.W.label, impact))
+      [ W.a; W.b; W.c; W.d ]
+  in
+  Report.subheading "Table 5.2 — throughput reduction of NUMA-aware multi-pool";
+  Report.table
+    ~headers:("Workload" :: List.map fst impacts @ [ "Average" ])
+    ~rows:
+      [
+        "Reduction (%)"
+        :: (List.map (fun (_, i) -> Printf.sprintf "%.1f" i) impacts
+           @ [
+               Printf.sprintf "%.1f"
+                 (List.fold_left (fun a (_, i) -> a +. i) 0.0 impacts /. 4.0);
+             ]);
+      ];
+  Fmt.pr "@.(paper: 5.1 / 5.6 / 5.9 / 6.0, average 5.6%%)@."
+
+(* ---- Figures 5.5 / 5.6 + Table 5.3: latency percentiles -------------------- *)
+
+let latency_runs () =
+  let structures = make_structures () in
+  List.iter
+    (fun (_, kv) -> Driver.preload kv ~threads:preload_threads ~n:!scale.n_initial)
+    structures;
+  List.map
+    (fun (name, kv) ->
+      let per_workload =
+        List.map
+          (fun spec ->
+            let threads = !scale.latency_threads in
+            let res =
+              Driver.run_workload kv ~spec ~threads ~n_initial:!scale.n_initial
+                ~ops_per_thread:(max 10 (!scale.latency_ops / threads))
+                ~seed:(seed + 5)
+            in
+            (spec, res))
+          [ W.a; W.b; W.c; W.d ]
+      in
+      (name, per_workload))
+    structures
+
+let fig_5_5_5_6_table_5_3 () =
+  Report.heading
+    "Figures 5.5 / 5.6 + Table 5.3 — latency percentiles per YCSB workload \
+     (80 threads)";
+  let all = latency_runs () in
+  List.iter
+    (fun (name, per_workload) ->
+      List.iter
+        (fun ((spec : W.spec), (res : Driver.result)) ->
+          let rows =
+            List.filter_map
+              (fun (label, stats) ->
+                if Stats.count stats = 0 then None
+                else Some (Report.latency_row label stats))
+              [
+                ("reads", res.Driver.read_lat);
+                ("updates", res.Driver.update_lat);
+                ("inserts", res.Driver.insert_lat);
+                ("scans", res.Driver.scan_lat);
+              ]
+          in
+          Report.latency_table
+            ~title:(Printf.sprintf "%s — workload %s (%s)" name spec.W.label spec.W.name)
+            ~rows)
+        per_workload)
+    all;
+  Report.subheading "Table 5.3 — median latency (microseconds)";
+  let median_rows =
+    List.concat_map
+      (fun ((spec : W.spec), op_label, pick) ->
+        [
+          (spec.W.name ^ " / " ^ op_label)
+          :: List.map
+               (fun (_, per_workload) ->
+                 let _, res = List.find (fun (s, _) -> s == spec) per_workload in
+                 let stats : Stats.t = pick res in
+                 if Stats.count stats = 0 then "-"
+                 else Printf.sprintf "%.1f" (Stats.median stats /. 1000.0))
+               all;
+        ])
+      [
+        (W.a, "reads", fun (r : Driver.result) -> r.Driver.read_lat);
+        (W.a, "updates", fun r -> r.Driver.update_lat);
+        (W.b, "reads", fun r -> r.Driver.read_lat);
+        (W.b, "updates", fun r -> r.Driver.update_lat);
+        (W.c, "reads", fun r -> r.Driver.read_lat);
+        (W.d, "reads", fun r -> r.Driver.read_lat);
+        (W.d, "inserts", fun r -> r.Driver.insert_lat);
+      ]
+  in
+  Report.table
+    ~headers:("workload / op" :: List.map fst all)
+    ~rows:median_rows
+
+(* ---- Workload E (scan-heavy): the range-query extension ------------------- *)
+
+let workload_e () =
+  Report.heading
+    "Workload E (scan-heavy, extension) — range-query throughput across the \
+     three structures";
+  let structures = make_structures () in
+  List.iter
+    (fun (_, kv) -> Driver.preload kv ~threads:preload_threads ~n:!scale.n_initial)
+    structures;
+  let columns =
+    List.map (fun (name, kv) -> (name ^ " (Mops/s)", sweep kv ~spec:W.e)) structures
+  in
+  Report.series ~title:"Workload E (95% scans of <=100 keys, 5% inserts)"
+    ~x_label:"threads" ~x_values:!scale.threads_sweep ~columns;
+  (* snapshot vs per-node-validated range cost on UPSkipList *)
+  let cfg = bench_cfg in
+  let sys = striped_sys in
+  let pmem = Kv.make_pmem sys in
+  let bw = Upskiplist.Skiplist.required_block_words cfg in
+  let mem = Memory.Mem.create ~pmem ~chunk_words:(64 * bw) ~block_words:bw ~n_arenas:8 in
+  Memory.Mem.format mem;
+  let sl = Upskiplist.Skiplist.create ~mem ~cfg ~max_threads:sys.Kv.max_threads ~seed in
+  (match
+     Sim.Sched.run ~machine:(Pmem.machine pmem)
+       (List.init 8 (fun tid ->
+            ( tid,
+              fun ~tid ->
+                let i = ref (tid + 1) in
+                while !i <= !scale.n_initial do
+                  ignore (Upskiplist.Skiplist.upsert sl ~tid !i (!i + 7));
+                  i := !i + 8
+                done )))
+   with
+  | Sim.Sched.Completed _ -> ()
+  | Sim.Sched.Crashed_at _ -> failwith "crash");
+  let time_kind name f =
+    let total = ref 0.0 and count = ref 0 in
+    (match
+       Sim.Sched.run ~machine:(Pmem.machine pmem)
+         (List.init 16 (fun tid ->
+              ( tid,
+                fun ~tid ->
+                  let rng = Sim.Rng.create (7000 + tid) in
+                  for _ = 1 to 40 do
+                    let lo = 1 + Sim.Rng.int rng (!scale.n_initial - 200) in
+                    let t0 = Sim.Sched.now () in
+                    ignore (f ~tid ~lo ~hi:(lo + 100));
+                    total := !total +. (Sim.Sched.now () -. t0);
+                    incr count
+                  done )))
+     with
+    | Sim.Sched.Completed _ -> ()
+    | Sim.Sched.Crashed_at _ -> failwith "crash");
+    (name, !total /. float_of_int !count /. 1000.0)
+  in
+  (* concurrent updaters to stress snapshot retries *)
+  let rows =
+    [
+      time_kind "per-node validated range (paper semantics)"
+        (fun ~tid ~lo ~hi -> Upskiplist.Skiplist.range sl ~tid ~lo ~hi);
+      time_kind "linearizable snapshot range (extension)"
+        (fun ~tid ~lo ~hi -> Upskiplist.Skiplist.range_snapshot sl ~tid ~lo ~hi);
+    ]
+  in
+  Report.subheading "range semantics cost (100-key scans, 16 threads)";
+  Report.table
+    ~headers:[ "semantics"; "mean latency (us)" ]
+    ~rows:(List.map (fun (n, v) -> [ n; Printf.sprintf "%.1f" v ]) rows)
+
+(* ---- Table 5.4: recovery time ----------------------------------------------- *)
+
+let recovery_trial ~make ~label =
+  (* preload, run a 100% insert workload, crash mid-run, then measure the
+     time until the structure can serve requests again (3 trials). *)
+  let times =
+    List.init 3 (fun i ->
+        let kv : Kv.t = make () in
+        Driver.preload kv ~threads:4 ~n:(!scale.n_initial / 2);
+        let body ~tid =
+          let base = 1_000_000 + (tid * 100_000) in
+          for k = base to base + 50_000 do
+            ignore (kv.Kv.upsert ~tid k 7)
+          done
+        in
+        (match
+           Sim.Sched.run
+             ~crash:(Sim.Sched.After_events (50_000 + (i * 13_337)))
+             ~machine:(Kv.machine kv)
+             (List.init 8 (fun tid -> (tid, body)))
+         with
+        | Sim.Sched.Crashed_at _ -> ()
+        | Sim.Sched.Completed _ -> failwith "expected crash");
+        Pmem.crash kv.Kv.pmem;
+        kv.Kv.reconnect ();
+        Harness.Crash_test.recovery_time_s kv)
+  in
+  let mean, sd = Stats.mean_std times in
+  (label, mean, sd)
+
+let table_5_4 () =
+  Report.heading "Table 5.4 — recovery time (average of 3 trials)";
+  let rows =
+    [
+      recovery_trial ~label:"UPSkipList (4 pools)"
+        ~make:(fun () -> Kv.make_upskiplist ~cfg:bench_cfg multi_sys);
+      recovery_trial ~label:"BzTree (500K descriptors)"
+        ~make:(fun () ->
+          Kv.make_bztree ~n_descriptors:500_000
+            { striped_sys with pool_words = 1 lsl 23 });
+      recovery_trial ~label:"BzTree (100K descriptors)"
+        ~make:(fun () -> Kv.make_bztree ~n_descriptors:100_000 striped_sys);
+      recovery_trial ~label:"libpmemobj lock-based list"
+        ~make:(fun () -> Kv.make_pmdk_list striped_sys);
+    ]
+  in
+  Report.table
+    ~headers:[ "structure"; "recovery time (ms)"; "stddev" ]
+    ~rows:
+      (List.map
+         (fun (label, mean, sd) ->
+           [ label; Printf.sprintf "%.1f" (mean *. 1000.0); Printf.sprintf "%.1f" (sd *. 1000.0) ])
+         rows);
+  Fmt.pr "@.(paper: 83.7 / 760 / 239 / 55.5 ms)@."
+
+(* ---- Table 2.1: empirical complexity ---------------------------------------- *)
+
+let table_2_1 () =
+  Report.heading
+    "Table 2.1 (empirical) — expected O(log n) skip list operations: mean \
+     simulated latency vs structure size";
+  let sizes = [ 1_000; 4_000; 16_000; 64_000 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let kv = Kv.make_upskiplist ~cfg:bench_cfg striped_sys in
+        Driver.preload kv ~threads:4 ~n;
+        let res =
+          Driver.run_workload kv ~spec:W.a ~threads:1 ~n_initial:n
+            ~ops_per_thread:3_000 ~seed
+        in
+        [
+          string_of_int n;
+          Printf.sprintf "%.0f" (Stats.mean res.Driver.read_lat);
+          Printf.sprintf "%.0f" (Stats.mean res.Driver.update_lat);
+        ])
+      sizes
+  in
+  Report.table ~headers:[ "n (keys)"; "read mean (ns)"; "update mean (ns)" ] ~rows;
+  Fmt.pr "@.(latency should grow ~logarithmically — x4 keys, +constant)@."
+
+(* ---- Chapter 6: linearizability campaign ------------------------------------ *)
+
+let chapter6 () =
+  Report.heading
+    (Printf.sprintf
+       "Chapter 6 — black-box strict-linearizability campaign (%d crash \
+        trials, UPSkipList)"
+       !scale.chapter6_trials);
+  let sys = { multi_sys with pool_words = 1 lsl 20 } in
+  let violations =
+    Harness.Crash_test.campaign
+      ~make:(fun () -> Kv.make_upskiplist sys)
+      ~threads:8 ~keyspace:200 ~ops_per_thread:120 ~crash_events:40_000
+      ~seed:(seed + 77) ~trials:!scale.chapter6_trials ()
+  in
+  (match violations with
+  | [] ->
+      Fmt.pr
+        "all %d trials strictly linearizable (paper: 32 power-failure logs, \
+         0 violations)@."
+        !scale.chapter6_trials
+  | vs ->
+      List.iter
+        (fun (i, v) -> Fmt.pr "trial %d: %a@." i Lincheck.Checker.pp_violation v)
+        vs);
+  (* sanity check of the analyzer itself, as in the thesis: inject errors *)
+  let trial =
+    Harness.Crash_test.run
+      ~make:(fun () -> Kv.make_upskiplist sys)
+      ~threads:4 ~keyspace:100 ~ops_per_thread:100 ~crash_events:20_000
+      ~seed:(seed + 99) ()
+  in
+  let events = Lincheck.History.events trial.Harness.Crash_test.history in
+  let mutated =
+    List.mapi
+      (fun i (e : Lincheck.History.event) ->
+        match e.Lincheck.History.kind with
+        | Lincheck.History.Read { out = Some _ } when i mod 37 = 0 ->
+            { e with Lincheck.History.kind = Lincheck.History.Read { out = Some 999_999_999 } }
+        | _ -> e)
+      events
+  in
+  let bad =
+    Lincheck.Checker.check
+      (Lincheck.History.create
+         ~eras:(Lincheck.History.eras trial.Harness.Crash_test.history)
+         mutated)
+  in
+  Fmt.pr "analyzer self-check: %d injected-error violations detected (>0 expected)@."
+    (List.length bad)
+
+(* ---- ablations ---------------------------------------------------------------- *)
+
+(* Keys per node: the multi-key-node design choice (Section 4.2). *)
+let ablation_keys_per_node () =
+  Report.heading "Ablation — keys per node (multi-key nodes, Section 4.2)";
+  let ks = [ 1; 4; 16; 64; 256 ] in
+  let results =
+    List.map
+      (fun k ->
+        let cfg = { Upskiplist.Config.default with keys_per_node = k } in
+        let kv = Kv.make_upskiplist ~cfg striped_sys in
+        Driver.preload kv ~threads:4 ~n:(!scale.n_initial / 2);
+        let run spec =
+          (Driver.run_workload kv ~spec ~threads:16
+             ~n_initial:(!scale.n_initial / 2)
+             ~ops_per_thread:400 ~seed)
+            .Driver.throughput_mops
+        in
+        [ string_of_int k; Printf.sprintf "%.3f" (run W.a); Printf.sprintf "%.3f" (run W.c) ])
+      ks
+  in
+  Report.table
+    ~headers:[ "keys/node"; "A Mops/s (16 thr)"; "C Mops/s (16 thr)" ]
+    ~rows:results
+
+(* Recovery budget: post-crash throughput throttling (Section 4.4.1). *)
+let ablation_recovery_budget () =
+  Report.heading
+    "Ablation — recoveries per traversal after a crash (Section 4.4.1)";
+  let budgets = [ 0; 1; 4; 1_000_000 ] in
+  let rows =
+    List.map
+      (fun budget ->
+        let cfg = { bench_cfg with recovery_budget = budget } in
+        let kv = Kv.make_upskiplist ~cfg multi_sys in
+        Driver.preload kv ~threads:4 ~n:(!scale.n_initial / 2);
+        (* crash mid-insert-workload *)
+        let body ~tid =
+          for k = 1_000_000 + tid to 1_050_000 do
+            if k mod 8 = tid then ignore (kv.Kv.upsert ~tid k 7)
+          done
+        in
+        (match
+           Sim.Sched.run
+             ~crash:(Sim.Sched.After_events 60_000)
+             ~machine:(Kv.machine kv)
+             (List.init 8 (fun tid -> (tid, body)))
+         with
+        | Sim.Sched.Crashed_at _ -> ()
+        | Sim.Sched.Completed _ -> failwith "expected crash");
+        Pmem.crash kv.Kv.pmem;
+        kv.Kv.reconnect ();
+        (* post-recovery read-mostly throughput in two consecutive windows *)
+        let window i =
+          (Driver.run_workload kv ~spec:W.b
+             ~threads:8
+             ~n_initial:(!scale.n_initial / 2)
+             ~ops_per_thread:400 ~seed:(seed + i))
+            .Driver.throughput_mops
+        in
+        let w1 = window 1 in
+        let w2 = window 2 in
+        [
+          (if budget > 1000 then "unbounded" else string_of_int budget);
+          Printf.sprintf "%.3f" w1;
+          Printf.sprintf "%.3f" w2;
+        ])
+      budgets
+  in
+  Report.table
+    ~headers:
+      [ "recoveries/traversal"; "post-crash window 1 Mops/s"; "window 2 Mops/s" ]
+    ~rows
+
+(* Allocator arenas: free-list contention (Section 4.3.3). *)
+let ablation_arenas () =
+  Report.heading "Ablation — allocator arenas per pool (Section 4.3.3)";
+  let rows =
+    List.map
+      (fun n_arenas ->
+        let kv = Kv.make_upskiplist ~cfg:bench_cfg ~n_arenas striped_sys in
+        let res =
+          (* insert-heavy: allocation on the critical path *)
+          Driver.preload kv ~threads:16 ~n:!scale.n_initial;
+          Driver.run_workload kv ~spec:W.d ~threads:16
+            ~n_initial:!scale.n_initial ~ops_per_thread:400 ~seed
+        in
+        [ string_of_int n_arenas; Printf.sprintf "%.3f" res.Driver.throughput_mops ])
+      [ 1; 2; 8; 32 ]
+  in
+  Report.table ~headers:[ "arenas"; "D Mops/s (16 thr)" ] ~rows
+
+(* Sorted splits: the paper's proposed answer to BzTree's read-only win. *)
+let ablation_sorted_splits () =
+  Report.heading
+    "Ablation — sorted node splits + binary search (paper Ch. 7 follow-up)";
+  let run cfg name =
+    let kv = Kv.make_upskiplist ~cfg striped_sys in
+    Driver.preload kv ~threads:preload_threads ~n:!scale.n_initial;
+    let m, sd =
+      Driver.throughput_trials kv ~spec:W.c ~threads:48
+        ~n_initial:!scale.n_initial
+        ~ops_per_thread:(max 20 (!scale.ops_at 48 / 48))
+        ~seed ~trials:!scale.trials
+    in
+    [ name; Printf.sprintf "%.3f ±%.2f" m sd ]
+  in
+  let bz = Kv.make_bztree ~n_descriptors:120_000 striped_sys in
+  Driver.preload bz ~threads:preload_threads ~n:!scale.n_initial;
+  let bzm, bzsd =
+    Driver.throughput_trials bz ~spec:W.c ~threads:48 ~n_initial:!scale.n_initial
+      ~ops_per_thread:(max 20 (!scale.ops_at 48 / 48))
+      ~seed ~trials:!scale.trials
+  in
+  Report.table
+    ~headers:[ "configuration"; "C Mops/s (48 thr)" ]
+    ~rows:
+      [
+        run { bench_cfg with sorted_splits = false } "unsorted nodes (paper)";
+        run { bench_cfg with sorted_splits = true } "sorted splits + binary search";
+        [ "BzTree (sorted leaves)"; Printf.sprintf "%.3f ±%.2f" bzm bzsd ];
+      ];
+  Fmt.pr
+    "@.(the paper attributes BzTree's read-only win to its sorted leaves and      proposes exactly this optimisation)@."
+
+(* Physical removal: memory actually comes back (paper §4.6 follow-up). *)
+let ablation_reclamation () =
+  Report.heading "Ablation — tombstones vs physical removal (paper §4.6)";
+  let run reclaim =
+    let cfg = { bench_cfg with keys_per_node = 16; reclaim_empty_nodes = reclaim } in
+    let kv = Kv.make_upskiplist ~cfg striped_sys in
+    let n = !scale.n_initial / 2 in
+    Driver.preload kv ~threads:4 ~n;
+    (* remove everything, then measure occupancy *)
+    (match
+       Sim.Sched.run ~machine:(Kv.machine kv)
+         (List.init 4 (fun tid ->
+              ( tid,
+                fun ~tid ->
+                  let i = ref (tid + 1) in
+                  while !i <= n do
+                    ignore (kv.Kv.remove ~tid !i);
+                    i := !i + 4
+                  done )))
+     with
+    | Sim.Sched.Completed _ -> ()
+    | Sim.Sched.Crashed_at _ -> failwith "unexpected crash");
+    (* quiesced point: let the grace period expire and free everything *)
+    (match
+       Sim.Sched.run ~machine:(Kv.machine kv)
+         [ (0, fun ~tid -> kv.Kv.quiesce ~tid) ]
+     with
+    | Sim.Sched.Completed _ -> ()
+    | Sim.Sched.Crashed_at _ -> failwith "unexpected crash");
+    let mem = kv.Kv.mem in
+    let free =
+      let acc = ref 0 in
+      for pool = 0 to Memory.Mem.n_pools mem - 1 do
+        for arena = 0 to mem.Memory.Mem.n_arenas - 1 do
+          acc := !acc + Memory.Block_alloc.free_list_length mem ~pool ~arena
+        done
+      done;
+      !acc
+    in
+    let total = Memory.Mem.chunks_allocated mem * Memory.Mem.blocks_per_chunk mem in
+    [
+      (if reclaim then "physical removal" else "tombstones only (paper)");
+      string_of_int (total - free);
+      string_of_int free;
+      string_of_int (Memory.Mem.chunks_allocated mem);
+    ]
+  in
+  Report.table
+    ~headers:
+      [
+        "mode";
+        "blocks still held after delete-all";
+        "blocks back in the free lists";
+        "chunks";
+      ]
+    ~rows:[ run false; run true ];
+  Fmt.pr
+    "@.(with tombstones every node survives its own deletion; physical \
+     removal returns the memory - the reclamation the paper calls out as \
+     required future work)@."
+
+let ablations () =
+  ablation_keys_per_node ();
+  ablation_recovery_budget ();
+  ablation_arenas ();
+  ablation_sorted_splits ();
+  ablation_reclamation ()
+
+(* ---- bechamel micro-benchmarks ------------------------------------------------ *)
+
+(* Host-time microbenchmarks of the core op paths (one Test.make per
+   table/figure subject), run with a small quota. *)
+let micro () =
+  Report.heading "Bechamel micro-benchmarks (host time per simulated op)";
+  let make_env () =
+    let sys = { striped_sys with latency = Pmem.Latency.uniform } in
+    let kv = Kv.make_upskiplist ~cfg:bench_cfg sys in
+    Driver.preload kv ~threads:4 ~n:5_000;
+    kv
+  in
+  let kv = make_env () in
+  let bz = Kv.make_bztree ~n_descriptors:120_000 { striped_sys with latency = Pmem.Latency.uniform } in
+  Driver.preload bz ~threads:4 ~n:5_000;
+  let pl = Kv.make_pmdk_list { striped_sys with latency = Pmem.Latency.uniform } in
+  Driver.preload pl ~threads:4 ~n:5_000;
+  let counter = ref 0 in
+  let one_op (kv : Kv.t) op () =
+    incr counter;
+    let k = 1 + (!counter * 7919 mod 5_000) in
+    match
+      Sim.Sched.run ~machine:(Kv.machine kv)
+        [
+          ( 0,
+            fun ~tid ->
+              match op with
+              | `Search -> ignore (kv.Kv.search ~tid k)
+              | `Upsert -> ignore (kv.Kv.upsert ~tid k (1 + !counter)) );
+        ]
+    with
+    | Sim.Sched.Completed _ -> ()
+    | Sim.Sched.Crashed_at _ -> assert false
+  in
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"fig5.1/upskiplist-upsert" (Staged.stage (one_op kv `Upsert));
+      Test.make ~name:"fig5.1/bztree-upsert" (Staged.stage (one_op bz `Upsert));
+      Test.make ~name:"fig5.1/pmdk-upsert" (Staged.stage (one_op pl `Upsert));
+      Test.make ~name:"fig5.2/upskiplist-search" (Staged.stage (one_op kv `Search));
+      Test.make ~name:"fig5.2/bztree-search" (Staged.stage (one_op bz `Search));
+      Test.make ~name:"fig5.2/pmdk-search" (Staged.stage (one_op pl `Search));
+    ]
+  in
+  let cfg = Benchmark.cfg ~quota:(Time.second 0.5) ~limit:500 () in
+  let raws =
+    Benchmark.all cfg
+      Toolkit.Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"micro" tests)
+  in
+  let analysis =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Hashtbl.iter
+    (fun name raw ->
+      match Analyze.one analysis Toolkit.Instance.monotonic_clock raw with
+      | ols -> (
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> Fmt.pr "  %-36s %12.0f ns/op (host)@." name est
+          | _ -> Fmt.pr "  %-36s (no estimate)@." name)
+      | exception _ -> Fmt.pr "  %-36s (analysis failed)@." name)
+    raws
+
+(* ---- registry ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig5.1", fig_5_1);
+    ("fig5.2", fig_5_2);
+    ("fig5.3", fig_5_3);
+    ("fig5.4", fig_5_4);
+    ("fig5.5", fig_5_5_5_6_table_5_3);
+    ("table5.3", fig_5_5_5_6_table_5_3);
+    ("table5.4", table_5_4);
+    ("workloadE", workload_e);
+    ("table2.1", table_2_1);
+    ("chapter6", chapter6);
+    ("ablations", ablations);
+    ("micro", micro);
+  ]
+
+(* run each distinct function once even when selected under two names *)
+let default_set =
+  [
+    "fig5.1"; "fig5.2"; "fig5.3"; "fig5.4"; "fig5.5"; "table5.4"; "workloadE";
+    "table2.1"; "chapter6"; "ablations";
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--full" then begin
+          scale := full;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with [] | [ "all" ] -> default_set | names -> names
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+          let t = Unix.gettimeofday () in
+          f ();
+          Fmt.pr "@.[%s finished in %.1f s]@." name (Unix.gettimeofday () -. t)
+      | None ->
+          Fmt.epr "unknown experiment %S; available: %s@." name
+            (String.concat ", " (List.map fst experiments)))
+    selected;
+  Fmt.pr "@.total wall time: %.1f s@." (Unix.gettimeofday () -. t0)

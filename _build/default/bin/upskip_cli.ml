@@ -1,0 +1,232 @@
+(* Command-line driver for the UPSkipList reproduction.
+
+     upskip_cli run --structure upskiplist --workload a --threads 16
+     upskip_cli crash-test --trials 5
+     upskip_cli recovery --structure bztree --descriptors 100000
+     upskip_cli demo
+
+   Everything executes on the simulated-PMEM machine; reported times are
+   simulated nanoseconds (see DESIGN.md). *)
+
+module Kv = Harness.Kv
+module Driver = Harness.Driver
+
+open Cmdliner
+
+(* ---- shared options -------------------------------------------------------- *)
+
+let structure_t =
+  let parse = function
+    | "upskiplist" | "ups" -> Ok `Upskiplist
+    | "bztree" | "bz" -> Ok `Bztree
+    | "pmdk" | "lock" -> Ok `Pmdk
+    | s -> Error (`Msg ("unknown structure: " ^ s))
+  in
+  let print fmt v =
+    Fmt.string fmt
+      (match v with `Upskiplist -> "upskiplist" | `Bztree -> "bztree" | `Pmdk -> "pmdk")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Upskiplist
+    & info [ "s"; "structure" ] ~doc:"Structure: upskiplist | bztree | pmdk.")
+
+let mode_t =
+  let parse = function
+    | "striped" -> Ok Pmem.Striped
+    | "numa" | "multi" -> Ok Pmem.Multi_pool
+    | s -> Error (`Msg ("unknown mode: " ^ s))
+  in
+  let print fmt v =
+    Fmt.string fmt (match v with Pmem.Striped -> "striped" | Pmem.Multi_pool -> "numa")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Pmem.Striped
+    & info [ "mode" ] ~doc:"PMEM layout: striped (one pool) or numa (one pool per node).")
+
+let threads_t =
+  Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Simulated threads.")
+
+let keys_t =
+  Arg.(value & opt int 10_000 & info [ "k"; "keys" ] ~doc:"Preloaded keys.")
+
+let ops_t =
+  Arg.(value & opt int 20_000 & info [ "o"; "ops" ] ~doc:"Total operations.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let descriptors_t =
+  Arg.(
+    value & opt int 100_000
+    & info [ "descriptors" ] ~doc:"PMwCAS descriptor pool size (BzTree).")
+
+let workload_t =
+  Arg.(
+    value & opt string "a"
+    & info [ "w"; "workload" ] ~doc:"YCSB workload: a | b | c | d.")
+
+let make_kv structure mode descriptors =
+  let sys = { Kv.default_sys with mode; pool_words = 1 lsl 22 } in
+  match structure with
+  | `Upskiplist ->
+      Kv.make_upskiplist
+        ~cfg:{ Upskiplist.Config.default with keys_per_node = 64 }
+        sys
+  | `Bztree -> Kv.make_bztree ~n_descriptors:descriptors sys
+  | `Pmdk -> Kv.make_pmdk_list sys
+
+(* ---- run ------------------------------------------------------------------- *)
+
+let run_cmd structure mode workload threads keys ops seed descriptors =
+  let kv = make_kv structure mode descriptors in
+  let spec = Ycsb.Workload.by_label workload in
+  Fmt.pr "preloading %d keys into %s...@." keys kv.Kv.name;
+  Driver.preload kv ~threads:(min threads 8) ~n:keys;
+  let res =
+    Driver.run_workload kv ~spec ~threads ~n_initial:keys
+      ~ops_per_thread:(max 1 (ops / threads))
+      ~seed
+  in
+  Fmt.pr "workload %s on %s, %d threads:@." spec.Ycsb.Workload.label kv.Kv.name
+    threads;
+  Fmt.pr "  throughput  %.3f Mops/s (simulated)@." res.Driver.throughput_mops;
+  Fmt.pr "  span        %.3f ms simulated for %d ops@."
+    (res.Driver.sim_ns /. 1e6) res.Driver.ops;
+  List.iter
+    (fun (label, stats) ->
+      if Sim.Stats.count stats > 0 then
+        Fmt.pr "  %-8s p50 %.1f us   p99 %.1f us   p99.9 %.1f us@." label
+          (Sim.Stats.percentile stats 50.0 /. 1e3)
+          (Sim.Stats.percentile stats 99.0 /. 1e3)
+          (Sim.Stats.percentile stats 99.9 /. 1e3))
+    [
+      ("reads", res.Driver.read_lat);
+      ("updates", res.Driver.update_lat);
+      ("inserts", res.Driver.insert_lat);
+    ];
+  0
+
+let run_term =
+  Term.(
+    const run_cmd $ structure_t $ mode_t $ workload_t $ threads_t $ keys_t
+    $ ops_t $ seed_t $ descriptors_t)
+
+(* ---- crash-test -------------------------------------------------------------- *)
+
+let crash_cmd structure mode trials threads seed descriptors =
+  let make () = make_kv structure mode descriptors in
+  Fmt.pr "running %d crash trials on %s with strict-linearizability analysis...@."
+    trials (make ()).Kv.name;
+  let violations =
+    Harness.Crash_test.campaign ~make ~threads ~keyspace:300 ~ops_per_thread:150
+      ~crash_events:40_000 ~seed ~trials ()
+  in
+  (match violations with
+  | [] -> Fmt.pr "all %d trials strictly linearizable.@." trials
+  | vs ->
+      List.iter
+        (fun (i, v) ->
+          Fmt.pr "trial %d VIOLATION: %a@." i Lincheck.Checker.pp_violation v)
+        vs);
+  if violations = [] then 0 else 1
+
+let crash_trials_t =
+  Arg.(value & opt int 5 & info [ "trials" ] ~doc:"Number of crash trials.")
+
+let crash_term =
+  Term.(
+    const crash_cmd $ structure_t $ mode_t $ crash_trials_t $ threads_t $ seed_t
+    $ descriptors_t)
+
+(* ---- recovery ----------------------------------------------------------------- *)
+
+let recovery_cmd structure mode keys descriptors =
+  let kv = make_kv structure mode descriptors in
+  Driver.preload kv ~threads:8 ~n:keys;
+  let body ~tid =
+    for k = 1_000_000 + tid to 1_000_000 + tid + 100_000 do
+      ignore (kv.Kv.upsert ~tid k 7)
+    done
+  in
+  (match
+     Sim.Sched.run
+       ~crash:(Sim.Sched.After_events 60_000)
+       ~machine:(Kv.machine kv)
+       (List.init 8 (fun tid -> (tid, body)))
+   with
+  | Sim.Sched.Crashed_at { events; _ } ->
+      Fmt.pr "crashed after %d simulated events@." events
+  | Sim.Sched.Completed _ -> failwith "expected crash");
+  Pmem.crash kv.Kv.pmem;
+  kv.Kv.reconnect ();
+  let t = Harness.Crash_test.recovery_time_s kv in
+  Fmt.pr "%s recovery time: %.1f ms (pool reopen + structure work)@." kv.Kv.name
+    (t *. 1000.0);
+  0
+
+let recovery_term =
+  Term.(const recovery_cmd $ structure_t $ mode_t $ keys_t $ descriptors_t)
+
+(* ---- demo ---------------------------------------------------------------------- *)
+
+let demo_cmd () =
+  let sys = Kv.default_sys in
+  let kv = Kv.make_upskiplist sys in
+  Fmt.pr "UPSkipList demo on simulated Optane (4 NUMA pools)@.";
+  (match
+     Sim.Sched.run ~machine:(Kv.machine kv)
+       [
+         ( 0,
+           fun ~tid ->
+             for k = 1 to 10 do
+               ignore (kv.Kv.upsert ~tid k (k * 100))
+             done;
+             Fmt.pr "  inserted keys 1..10@.";
+             Fmt.pr "  search 7 -> %a@." Fmt.(option int) (kv.Kv.search ~tid 7);
+             ignore (kv.Kv.remove ~tid 7);
+             Fmt.pr "  removed 7; search 7 -> %a@."
+               Fmt.(option int)
+               (kv.Kv.search ~tid 7) );
+       ]
+   with
+  | Sim.Sched.Completed { time; events } ->
+      Fmt.pr "  (%d simulated events, %.0f ns virtual time)@." events time
+  | Sim.Sched.Crashed_at _ -> assert false);
+  Pmem.crash kv.Kv.pmem;
+  kv.Kv.reconnect ();
+  (match
+     Sim.Sched.run ~machine:(Kv.machine kv)
+       [
+         ( 0,
+           fun ~tid ->
+             Fmt.pr "  after power failure + reconnect: search 3 -> %a@."
+               Fmt.(option int)
+               (kv.Kv.search ~tid 3) );
+       ]
+   with
+  | Sim.Sched.Completed _ -> ()
+  | Sim.Sched.Crashed_at _ -> assert false);
+  0
+
+let demo_term = Term.(const demo_cmd $ const ())
+
+(* ---- assembly ------------------------------------------------------------------ *)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Run a YCSB workload and report throughput/latency.") run_term;
+    Cmd.v
+      (Cmd.info "crash-test"
+         ~doc:"Crash trials with strict-linearizability analysis.")
+      crash_term;
+    Cmd.v (Cmd.info "recovery" ~doc:"Measure post-crash recovery time.") recovery_term;
+    Cmd.v (Cmd.info "demo" ~doc:"Small interactive walk-through.") demo_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "upskip_cli" ~version:"1.0"
+      ~doc:"UPSkipList — recoverable PMEM skip list (simulated reproduction)"
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Array Fmt Harness Lincheck List Memory Pmem Sim Upskiplist

@@ -1,0 +1,1 @@
+examples/db_index.ml: Fmt List Memory Pmem Sim String Upskiplist

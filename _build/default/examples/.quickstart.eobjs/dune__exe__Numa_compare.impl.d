@@ -1,0 +1,1 @@
+examples/numa_compare.ml: Fmt Harness List Pmem Upskiplist Ycsb

@@ -1,0 +1,1 @@
+lib/core/reclaim.ml: Array List Memory

@@ -1,0 +1,1 @@
+lib/core/skiplist.ml: Array Config Fmt List Memory Node Option Pmem Reclaim Sim

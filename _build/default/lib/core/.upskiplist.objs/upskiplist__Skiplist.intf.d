@@ -1,0 +1,1 @@
+lib/core/skiplist.mli: Config Memory

@@ -1,0 +1,43 @@
+(* UPSkipList build-time parameters.
+
+   The paper's best-performing configuration stores 256 key-value pairs per
+   node with 32 levels; tests and simulated benchmarks default to smaller
+   nodes so that key scans stay cheap in simulated events, and the
+   keys-per-node sweep is itself an ablation (bench `ablations`). *)
+
+type t = {
+  keys_per_node : int;  (* capacity of a node's unsorted key array *)
+  max_height : int;  (* number of skip-list levels *)
+  branching_p : float;  (* geometric parameter for tower heights *)
+  recovery_budget : int;
+      (* incomplete-insert recoveries a single traversal may perform
+         (Section 4.4.1: k, as low as 1, keeps post-crash throughput up) *)
+  sorted_splits : bool;
+      (* the paper's proposed follow-up optimisation: node splits produce
+         sorted nodes and lookups binary-search the sorted prefix, like
+         BzTree's sorted area (Section 5.2.1 / Chapter 7) *)
+  reclaim_empty_nodes : bool;
+      (* the paper's follow-up for removals (Section 4.6): physically
+         unlink all-tombstone nodes and reclaim them through epoch-based
+         reclamation *)
+}
+
+let default =
+  {
+    keys_per_node = 16;
+    max_height = 24;
+    branching_p = 0.5;
+    recovery_budget = 1;
+    sorted_splits = false;
+    reclaim_empty_nodes = false;
+  }
+
+let validate t =
+  if t.keys_per_node < 1 then invalid_arg "Config: keys_per_node < 1";
+  if t.max_height < 2 || t.max_height > 40 then invalid_arg "Config: max_height";
+  if t.branching_p <= 0.0 || t.branching_p >= 1.0 then
+    invalid_arg "Config: branching_p";
+  if t.recovery_budget < 0 then invalid_arg "Config: recovery_budget"
+
+(* Words a node occupies; the block allocator is sized from this. *)
+let node_words t = 6 + (2 * t.keys_per_node) + t.max_height

@@ -1,0 +1,28 @@
+(** UPSkipList configuration. The paper's evaluation used 256 keys per node
+    and 32 levels; tests default to smaller nodes (scans cost simulated
+    events), and the keys-per-node choice is benchmarked as an ablation. *)
+
+type t = {
+  keys_per_node : int;  (** node capacity; 1 degenerates to Herlihy's list *)
+  max_height : int;  (** number of skip-list levels (2..40) *)
+  branching_p : float;  (** geometric tower-height parameter, in (0,1) *)
+  recovery_budget : int;
+      (** max incomplete-insert repairs per traversal after a crash
+          (Section 4.4.1); interrupted splits are always repaired *)
+  sorted_splits : bool;
+      (** splits produce sorted nodes; lookups binary-search the sorted
+          prefix (the paper's proposed BzTree-style optimisation) *)
+  reclaim_empty_nodes : bool;
+      (** physically unlink and reclaim all-tombstone nodes (paper §4.6
+          follow-up), with epoch-based reclamation *)
+}
+
+val default : t
+(** 16 keys/node, 24 levels, p = 0.5, budget 1, both follow-up
+    optimisations off. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on out-of-range fields. *)
+
+val node_words : t -> int
+(** Words one node occupies under this configuration. *)

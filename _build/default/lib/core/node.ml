@@ -1,0 +1,252 @@
+(* UPSkipList node layout and field access.
+
+   A node occupies one allocator block. The first words form the object
+   header shared with free blocks (kind at word 2 discriminates); the first
+   cache line therefore holds epochID, splitCount, the split lock, the
+   height and the first key — everything a traversal reads per hop, as the
+   paper arranges deliberately.
+
+     word 0              epochID (failure-free epoch of last consistency
+                         confirmation; block: free-list next)
+     word 1              splitCount
+     word 2              kind (free block / node)
+     word 3              splitLock (packed reader-writer lock)
+     word 4              height
+     word 5              sorted prefix length (sorted-splits optimisation:
+                         keys[0..sorted-1] are ascending and null-free, so
+                         lookups binary-search them — paper future work)
+     words 6 .. 6+K-1    keys   (0 = empty slot; unsorted after the prefix)
+     words 6+K .. 6+2K-1 values (0 = tombstone)
+     words 6+2K ..       next pointers, level 0 .. H-1 (RIV words)
+
+   Key 0 and value 0 are reserved sentinels; the head sentinel's first key
+   is [head_key] (−∞) and the tail's is [tail_key] (+∞). *)
+
+module Mem = Memory.Mem
+module Riv = Memory.Riv
+
+let o_epoch = 0
+let o_split_count = 1
+let o_kind = 2
+let o_lock = 3
+let o_height = 4
+let o_sorted = 5
+let o_keys = 6
+
+let empty_key = 0
+let tombstone = 0
+let head_key = min_int
+let tail_key = max_int
+
+type layout = { k : int; o_values : int; o_next : int; words : int }
+
+let layout (cfg : Config.t) =
+  let k = cfg.keys_per_node in
+  {
+    k;
+    o_values = o_keys + k;
+    o_next = o_keys + (2 * k);
+    words = Config.node_words cfg;
+  }
+
+(* ---- field accessors (simulated time) --------------------------------- *)
+
+let epoch mem n = Mem.read_field mem n o_epoch
+let split_count mem n = Mem.read_field mem n o_split_count
+let sorted_count mem n = Mem.read_field mem n o_sorted
+let set_sorted_count mem n c = Mem.write_field mem n o_sorted c
+let height mem n = Mem.read_field mem n o_height
+let key mem n i = Mem.read_field mem n (o_keys + i)
+let key0 mem n = Mem.read_field mem n o_keys
+let value mem ly n i = Mem.read_field mem n (ly.o_values + i)
+
+(* Physical-removal marks live in the sign bit of next-pointer words
+   (Herlihy-style marking, paper Section 4.6 follow-up): a marked pointer
+   still references the same successor — it only announces that its owner
+   is retired and may be snipped. Pointer reads always strip the mark. *)
+let mark_bit = min_int
+let is_marked w = w < 0
+let unmark w = w land max_int
+
+let next_raw mem ly n level = Mem.read_field mem n (ly.o_next + level)
+let next mem ly n level = Riv.of_word (unmark (next_raw mem ly n level))
+
+let set_next mem ly n level p = Mem.write_ptr mem n (ly.o_next + level) p
+
+let cas_next mem ly n level ~expected ~desired =
+  Mem.cas_ptr mem n (ly.o_next + level) ~expected ~desired
+
+let cas_key mem n i ~expected ~desired =
+  Mem.cas_field mem n (o_keys + i) ~expected ~desired
+
+let cas_value mem ly n i ~expected ~desired =
+  Mem.cas_field mem n (ly.o_values + i) ~expected ~desired
+
+let cas_epoch mem n ~expected ~desired =
+  Mem.cas_field mem n o_epoch ~expected ~desired
+
+let persist_next mem ly n level = Mem.persist_field mem n (ly.o_next + level)
+let persist_value mem ly n i = Mem.persist_field mem n (ly.o_values + i)
+let persist_key mem n i = Mem.persist_field mem n (o_keys + i)
+let persist_all mem ly n = Mem.persist_range mem n ~first:0 ~words:ly.words
+
+(* ---- split lock: epoch-stamped recoverable reader-writer lock ----------
+
+   The lock word packs (epoch stamp | writer bit | reader count). Reader
+   counts stamped with an older failure-free epoch read as zero, so stale
+   readers from before a crash vanish without any explicit drain — the
+   thesis found exactly that drain step to be its one linearizability bug
+   (Section 6.3: DrainReaders raced concurrent acquisitions); the stamp
+   removes the race entirely. A *stale writer bit*, by contrast, is
+   preserved and visible: it is the persistent evidence of an interrupted
+   node split that CheckForNodeSplitRecovery keys off. *)
+
+let writer_bit = 1 lsl 40
+let intent_bit = 1 lsl 41
+
+module Lock = struct
+  let readers_mask = writer_bit - 1
+  let stamp_shift = 42
+
+  let word mem n = Mem.read_field mem n o_lock
+
+  let is_write_locked w = w land writer_bit <> 0
+  let stamp w = w lsr stamp_shift
+
+  let make_word ~epoch ~writer ~readers =
+    (epoch lsl stamp_shift) lor (if writer then writer_bit else 0) lor readers
+
+  (* Reader count as seen from epoch [epoch]: stale counts read as zero. *)
+  let readers_at ~epoch w = if stamp w = epoch then w land readers_mask else 0
+
+  (* A writer's declared intent, honoured only within its own epoch (an
+     intent interrupted by a crash evaporates with its stamp). *)
+  let intent_at ~epoch w = stamp w = epoch && w land intent_bit <> 0
+
+  (* Raw count regardless of stamp (tests/diagnostics). *)
+  let readers w = w land readers_mask
+
+  (* Acquire a read lock unless a writer holds the lock (a stale writer bit
+     counts: the interrupted split must be recovered first) or a writer has
+     declared intent — writer preference keeps splitters from starving
+     under a stream of readers. Loops only on CAS interference. *)
+  let rec read_lock mem n =
+    let epoch = Mem.epoch mem in
+    let w = word mem n in
+    if is_write_locked w || intent_at ~epoch w then false
+    else begin
+      let r = readers_at ~epoch w in
+      if
+        Mem.cas_field mem n o_lock ~expected:w
+          ~desired:(make_word ~epoch ~writer:false ~readers:(r + 1))
+      then true
+      else read_lock mem n
+    end
+
+  (* The holder acquired in the current epoch, so the stamp is current and
+     a plain decrement preserves it (including any intent bit). *)
+  let rec read_unlock mem n =
+    let w = word mem n in
+    if not (Mem.cas_field mem n o_lock ~expected:w ~desired:(w - 1)) then
+      read_unlock mem n
+
+  (* Single-shot write-lock attempt: fails while any current-epoch reader or
+     any writer (stale or not) holds the lock. *)
+  let write_lock mem n =
+    let epoch = Mem.epoch mem in
+    let w = word mem n in
+    (not (is_write_locked w))
+    && readers_at ~epoch w = 0
+    && Mem.cas_field mem n o_lock ~expected:w
+         ~desired:(make_word ~epoch ~writer:true ~readers:0)
+
+  (* Acquire the write lock with declared intent: new readers are refused
+     while the intent is pending, so the present readers drain and the
+     writer gets in — without this, 80 threads read-locking a full node
+     starve its split forever. Bounded rounds keep it deadlock-free; a
+     pending intent is cleared on abandonment (the winner's unlock clears
+     it otherwise). Returns false if another writer got the lock or the
+     rounds ran out. *)
+  let acquire_write mem n ~backoff =
+    let epoch = Mem.epoch mem in
+    let clear_intent () =
+      let rec clear () =
+        let w = word mem n in
+        if
+          stamp w = epoch
+          && w land intent_bit <> 0
+          && not
+               (Mem.cas_field mem n o_lock ~expected:w
+                  ~desired:(w land lnot intent_bit))
+        then clear ()
+      in
+      clear ()
+    in
+    let rec round budget =
+      if budget = 0 then begin
+        clear_intent ();
+        false
+      end
+      else begin
+        let w = word mem n in
+        if is_write_locked w then false (* another writer; it clears intent *)
+        else if readers_at ~epoch w = 0 then begin
+          if
+            Mem.cas_field mem n o_lock ~expected:w
+              ~desired:(make_word ~epoch ~writer:true ~readers:0)
+          then true
+          else round budget
+        end
+        else begin
+          (* declare (or refresh) intent, then wait for readers to drain *)
+          if not (intent_at ~epoch w) then
+            ignore
+              (Mem.cas_field mem n o_lock ~expected:w
+                 ~desired:
+                   ((epoch lsl stamp_shift) lor intent_bit
+                   lor (readers_at ~epoch w)));
+          backoff ();
+          round (budget - 1)
+        end
+      end
+    in
+    round 64
+
+  let write_unlock mem n =
+    Mem.write_field mem n o_lock
+      (make_word ~epoch:(Mem.epoch mem) ~writer:false ~readers:0);
+    Mem.persist_field mem n o_lock
+
+  (* Persist the acquisition so an interrupted split is detectable after a
+     crash (CheckForNodeSplitRecovery keys off the persistent writer bit). *)
+  let persist_acquisition mem n = Mem.persist_field mem n o_lock
+end
+
+(* ---- initialisation ---------------------------------------------------- *)
+
+(* Initialise a freshly allocated (zeroed) block as a node holding [keys] and
+   [values]. Next pointers are populated separately before linking. Runs in
+   fiber context and persists the node (Function 4, lines 42-43). *)
+let init mem ly n ~node_epoch ~node_height ~sorted ~keys ~values =
+  Mem.write_field mem n o_epoch node_epoch;
+  Mem.write_field mem n o_split_count 0;
+  Mem.write_field mem n o_kind Mem.kind_node;
+  Mem.write_field mem n o_lock 0;
+  Mem.write_field mem n o_height node_height;
+  Mem.write_field mem n o_sorted sorted;
+  List.iteri (fun i k -> Mem.write_field mem n (o_keys + i) k) keys;
+  List.iteri (fun i v -> Mem.write_field mem n (ly.o_values + i) v) values;
+  persist_all mem ly n
+
+(* Sentinel setup at pool-format time (no simulated cost). *)
+let init_sentinel_poked mem ly n ~first_key ~node_height =
+  Mem.poke_field mem n o_epoch 1;
+  Mem.poke_field mem n o_sorted 0;
+  Mem.poke_field mem n o_split_count 0;
+  Mem.poke_field mem n o_kind Mem.kind_node;
+  Mem.poke_field mem n o_lock 0;
+  Mem.poke_field mem n o_height node_height;
+  Mem.poke_field mem n o_keys first_key;
+  for level = 0 to node_height - 1 do
+    Mem.poke_ptr mem n (ly.o_next + level) Riv.null
+  done

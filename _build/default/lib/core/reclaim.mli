@@ -1,0 +1,37 @@
+(** Epoch-based reclamation for physically removed nodes (paper §2.5.2 /
+    §4.6 follow-up): a retired node is freed only once every operation that
+    might still reference it has finished.
+
+    Bookkeeping is host-side (as real EBR metadata is DRAM-resident);
+    freeing goes through the caller-supplied [free] in fiber context. *)
+
+type t
+
+val create :
+  ?collect_every:int ->
+  max_threads:int ->
+  free:(tid:int -> Memory.Riv.t -> unit) ->
+  unit ->
+  t
+
+val enter : t -> tid:int -> unit
+(** Announce the current epoch at operation entry. *)
+
+val exit : t -> tid:int -> unit
+(** Withdraw (quiescent) at operation exit. *)
+
+val retire : t -> tid:int -> Memory.Riv.t -> unit
+(** Hand over an unreachable node; it is freed after the grace period.
+    Periodically advances the epoch and collects (fiber context). *)
+
+val collect : t -> tid:int -> unit
+(** Free this thread's retired nodes past the grace period. Fiber
+    context. *)
+
+val drain : t -> tid:int -> unit
+(** Free everything retired by any thread; only sound with no operation in
+    flight. Fiber context. *)
+
+val pending : t -> int
+val freed : t -> int
+val retirements : t -> int

@@ -1,0 +1,921 @@
+(* UPSkipList: a recoverable, PMEM-resident lock-free skip list with
+   multi-key nodes and recoverable concurrent node splits (paper Chapter 4).
+
+   Derived from Herlihy et al.'s lock-free skip list via the paper's
+   extension to RECIPE: every node records the failure-free epoch in which
+   its consistency was last confirmed. A traversal that meets a node from an
+   older epoch knows no live thread is responsible for it, claims it by
+   CASing the epoch forward, and repairs it in place (incomplete tower
+   builds, interrupted node splits, stale lock state). Allocation uses the
+   logged block allocator so interrupted inserts cannot leak memory; the log
+   check is deferred to the owning thread's next allocation.
+
+   Operations:
+   - [search]/[mem_key]: wait-free traversal + internal key scan, validated
+     against the node's split counter and split lock;
+   - [upsert]: lock-free insert of new head-successor nodes, CAS slot claims
+     inside existing nodes under a read lock, deadlock-free node splits
+     under a write lock;
+   - [remove]: tombstoning update (Section 4.6);
+   - [range]: bottom-level scan with per-node split validation. *)
+
+module Mem = Memory.Mem
+module Riv = Memory.Riv
+module Block_alloc = Memory.Block_alloc
+
+type t = {
+  mem : Mem.t;
+  cfg : Config.t;
+  ly : Node.layout;
+  head : Riv.t;
+  tail : Riv.t;
+  height_rngs : Sim.Rng.t array;
+  ops : Block_alloc.node_ops;
+  reclaim : Reclaim.t option;  (* present iff cfg.reclaim_empty_nodes *)
+}
+
+let mem t = t.mem
+let config t = t.cfg
+let head t = t.head
+let tail t = t.tail
+
+(* Block size the allocator must be configured with for a given config. *)
+let required_block_words cfg =
+  let w = Config.node_words cfg in
+  (* round up to a cache-line multiple *)
+  (w + Pmem.line_words - 1) / Pmem.line_words * Pmem.line_words
+
+let create ~mem ~cfg ~max_threads ~seed =
+  Config.validate cfg;
+  let ly = Node.layout cfg in
+  if Mem.block_words mem < ly.Node.words then
+    invalid_arg "Skiplist.create: allocator blocks smaller than a node";
+  let head = Mem.root_alloc mem ~pool:0 ~words:(Mem.block_words mem) in
+  let tail = Mem.root_alloc mem ~pool:0 ~words:(Mem.block_words mem) in
+  Node.init_sentinel_poked mem ly head ~first_key:Node.head_key
+    ~node_height:cfg.Config.max_height;
+  Node.init_sentinel_poked mem ly tail ~first_key:Node.tail_key
+    ~node_height:cfg.Config.max_height;
+  for level = 0 to cfg.Config.max_height - 1 do
+    Mem.poke_ptr mem head (ly.Node.o_next + level) tail
+  done;
+  let root_rng = Sim.Rng.create seed in
+  let reclaim =
+    if cfg.Config.reclaim_empty_nodes then
+      Some
+        (Reclaim.create ~max_threads
+           ~free:(fun ~tid node -> Block_alloc.delete_linked_object mem ~tid node)
+           ())
+    else None
+  in
+  {
+    mem;
+    cfg;
+    ly;
+    head;
+    tail;
+    height_rngs = Array.init max_threads (fun _ -> Sim.Rng.split root_rng);
+    ops =
+      {
+        Block_alloc.key0 = (fun n -> Node.key0 mem n);
+        next0 = (fun n -> Node.next mem (Node.layout cfg) n 0);
+      };
+    reclaim;
+  }
+
+let random_height t ~tid =
+  Sim.Rng.geometric t.height_rngs.(tid) ~p:t.cfg.Config.branching_p
+    ~max_value:t.cfg.Config.max_height
+
+(* Seeded randomised backoff after a failed lock attempt: breaks the
+   symmetric livelock where every thread read-locks a full node, fails the
+   write lock, and retries in lock-step (possible under deterministic
+   simulated timing; real machines break it with timing noise). *)
+let backoff t ~tid =
+  Sim.Sched.charge (20.0 +. float_of_int (Sim.Rng.int t.height_rngs.(tid) 300))
+
+(* ---- traversal result -------------------------------------------------- *)
+
+type find = {
+  found : bool;
+  key_index : int;
+  split_count : int;  (* of preds.(0), read before its keys were scanned *)
+  preds : Riv.t array;
+  succs : Riv.t array;
+}
+
+(* Scan a node's internal keys for [key] (Function 8). With the
+   sorted-splits optimisation a node fresh from a split keeps a sorted,
+   null-free prefix that can be binary-searched (the BzTree-style follow-up
+   the paper proposes); remaining slots — claimed by later inserts or
+   punched out by this node's own next split, which resets the prefix — are
+   scanned linearly. *)
+let scan_keys t n key =
+  let k = t.cfg.Config.keys_per_node in
+  let sorted =
+    if t.cfg.Config.sorted_splits then min (Node.sorted_count t.mem n) k else 0
+  in
+  let rec linear i =
+    if i >= k then -1
+    else if Node.key t.mem n i = key then i
+    else linear (i + 1)
+  in
+  if sorted <= 0 then linear 0
+  else begin
+    let lo = ref 0 and hi = ref (sorted - 1) and found = ref (-1) in
+    while !lo <= !hi && !found < 0 do
+      let mid = (!lo + !hi) / 2 in
+      let km = Node.key t.mem n mid in
+      if km = key then found := mid
+      else if km < key then lo := mid + 1
+      else hi := mid - 1
+    done;
+    if !found >= 0 then !found else linear sorted
+  end
+
+(* ---- recovery (Functions 10-12) ---------------------------------------- *)
+
+(* Complete or clean up an interrupted node split (Function 11): a node left
+   write-locked by a previous epoch either transferred its upper keys to a
+   linked successor (erase the duplicates here) or failed before linking
+   (nothing to erase; the orphan node is reclaimed by the allocation log). *)
+(* Is every slot of [n] logically absent (empty or tombstoned)? *)
+let all_tombstone t n =
+  let k = t.cfg.Config.keys_per_node in
+  let rec go i =
+    i >= k || (Node.value t.mem t.ly n i = Node.tombstone && go (i + 1))
+  in
+  go 0
+
+(* Re-mark every level of a retired node (idempotent; used to resume an
+   interrupted retirement after a crash). *)
+let mark_all_levels t n =
+  let h = Node.height t.mem n in
+  for level = h - 1 downto 0 do
+    let rec mark () =
+      let w = Node.next_raw t.mem t.ly n level in
+      if not (Node.is_marked w) then begin
+        if
+          Mem.cas_field t.mem n
+            (t.ly.Node.o_next + level)
+            ~expected:w
+            ~desired:(w lor Node.mark_bit)
+        then Node.persist_next t.mem t.ly n level
+        else mark ()
+      end
+    in
+    mark ()
+  done
+
+let check_split_recovery t n =
+  if Node.Lock.is_write_locked (Node.Lock.word t.mem n) then begin
+    if t.cfg.Config.reclaim_empty_nodes && all_tombstone t n then
+      (* an interrupted *retirement*, not a split: resume it — re-mark all
+         levels and leave the node write-locked; traversals snip it and the
+         retirement entry in the owner's allocation log reclaims the block
+         once it is unreachable *)
+      mark_all_levels t n
+    else begin
+    let succ = Node.next t.mem t.ly n 0 in
+    let k = t.cfg.Config.keys_per_node in
+    for i = 0 to k - 1 do
+      let ki = Node.key t.mem n i in
+      if ki = Node.empty_key then
+        Mem.write_field t.mem n (t.ly.Node.o_values + i) Node.tombstone
+      else if not (Riv.equal succ t.tail) then begin
+        let rec dup j =
+          if j >= k then ()
+          else if Node.key t.mem succ j = ki then begin
+            Mem.write_field t.mem n (Node.o_keys + i) Node.empty_key;
+            Mem.write_field t.mem n (t.ly.Node.o_values + i) Node.tombstone
+          end
+          else dup (j + 1)
+        in
+        dup 0
+      end
+    done;
+    Node.persist_all t.mem t.ly n;
+    Node.Lock.write_unlock t.mem n
+    end
+  end
+
+(* Refresh a node's next pointers at [from_level ..] from fresh successor
+   information and persist them (Functions 18/19). *)
+let populate_levels t ~node ~succs ~from_level ~to_level =
+  for level = from_level to to_level do
+    Node.set_next t.mem t.ly node level succs.(level)
+  done;
+  Mem.persist_range t.mem node
+    ~first:(t.ly.Node.o_next + from_level)
+    ~words:(to_level - from_level + 1)
+
+(* Forward declarations resolved below: traversal and tower building are
+   mutually recursive with recovery. *)
+let rec traverse t ~tid ~recover key =
+  let h = t.cfg.Config.max_height in
+  let preds = Array.make h t.head in
+  let succs = Array.make h t.tail in
+  let recoveries = ref 0 in
+  let rec attempt () =
+    let restart = ref false in
+    let pred = ref t.head in
+    let level = ref (h - 1) in
+    while (not !restart) && !level >= 0 do
+      let cur = ref (Node.next t.mem t.ly !pred !level) in
+      let walking = ref true in
+      while !walking && not !restart do
+        if
+          recover
+          && check_for_recovery t ~tid ~cur:!cur ~recoveries:!recoveries
+        then begin
+          incr recoveries;
+          restart := true
+        end
+        else if
+            t.reclaim <> None
+            && (not (Riv.equal !cur t.tail))
+            && Node.is_marked (Node.next_raw t.mem t.ly !cur !level)
+          then begin
+          (* [cur] is retired: snip it out of this level and persist the
+             snip immediately (Section 4.4's recoverable snipping) *)
+          let succ = Node.next t.mem t.ly !cur !level in
+          if Node.cas_next t.mem t.ly !pred !level ~expected:!cur ~desired:succ
+          then Node.persist_next t.mem t.ly !pred !level;
+          cur := Node.next t.mem t.ly !pred !level
+        end
+        else begin
+          let k0 = Node.key0 t.mem !cur in
+          if k0 <= key then begin
+            pred := !cur;
+            cur := Node.next t.mem t.ly !cur !level
+          end
+          else walking := false
+        end
+      done;
+      if not !restart then begin
+        preds.(!level) <- !pred;
+        succs.(!level) <- !cur;
+        decr level
+      end
+    done;
+    if !restart then attempt ()
+    else begin
+      let pred0 = preds.(0) in
+      if Riv.equal pred0 t.head then
+        { found = false; key_index = -1; split_count = 0; preds; succs }
+      else begin
+        let sc = Node.split_count t.mem pred0 in
+        let ki = scan_keys t pred0 key in
+        { found = ki >= 0; key_index = ki; split_count = sc; preds; succs }
+      end
+    end
+  in
+  attempt ()
+
+(* Function 10: claim a node left behind by a previous failure-free epoch
+   and repair it. Returns true when a repair was performed (the caller
+   restarts its traversal). At most [recovery_budget] incomplete-insert
+   repairs per traversal; interrupted splits are always repaired because
+   their contents make traversal results unreliable (Section 4.4.1). *)
+and check_for_recovery t ~tid ~cur ~recoveries =
+  let current_epoch = Mem.epoch t.mem in
+  let node_epoch = Node.epoch t.mem cur in
+  if node_epoch = current_epoch then false
+  else begin
+    let lockw = Node.Lock.word t.mem cur in
+    (* stale readers vanish via the lock's epoch stamp; only an interrupted
+       split (persistent writer bit) forces immediate recovery *)
+    let recovery_needed = Node.Lock.is_write_locked lockw in
+    if recoveries < t.cfg.Config.recovery_budget || recovery_needed then begin
+      if not (Node.cas_epoch t.mem cur ~expected:node_epoch ~desired:current_epoch)
+      then false (* another thread claimed this node *)
+      else begin
+        Mem.persist_field t.mem cur Node.o_epoch;
+        if Riv.equal cur t.tail then false
+        else begin
+          check_split_recovery t cur;
+          check_insert_recovery t ~tid cur;
+          true
+        end
+      end
+    end
+    else false
+  end
+
+(* Function 12 (recast): a claimed node whose tower was not finished by its
+   crashed inserter is built up to its recorded height. Linked levels are
+   contiguous from the bottom, so the first level at which a fresh traversal
+   does not land on the node is where building resumes. *)
+and check_insert_recovery t ~tid cur =
+  let h = Node.height t.mem cur in
+  if h > 1 then begin
+    let k0 = Node.key0 t.mem cur in
+    if k0 <> Node.tail_key && k0 <> Node.head_key then begin
+      let f = traverse t ~tid ~recover:false k0 in
+      let start = ref 1 in
+      while !start < h && Riv.equal f.preds.(!start) cur do
+        incr start
+      done;
+      if !start < h then
+        link_higher_levels t ~tid ~node:cur ~start:!start ~node_height:h
+          ~preds:f.preds ~succs:f.succs
+    end
+  end
+
+(* Function 17: build the tower from [start] to [node_height - 1], CASing
+   each predecessor's next pointer from the node's recorded successor to the
+   node, re-traversing when the neighbourhood changed. Levels are persisted
+   bottom-up — the order matters for recovery (missing lower levels are not
+   permitted). *)
+and link_higher_levels t ~tid ~node ~start ~node_height ~preds ~succs =
+  let preds = ref preds and succs = ref succs in
+  let key = Node.key0 t.mem node in
+  for level = start to node_height - 1 do
+    let rec attempt () =
+      if Riv.equal !preds.(level) node then () (* already linked here *)
+      else begin
+        let expected = Node.next t.mem t.ly node level in
+        if
+          Node.cas_next t.mem t.ly !preds.(level) level ~expected ~desired:node
+        then Node.persist_next t.mem t.ly !preds.(level) level
+        else begin
+          (* Neighbourhood changed: refresh from a fresh traversal. *)
+          let f = traverse t ~tid ~recover:false key in
+          preds := f.preds;
+          succs := f.succs;
+          if not (Riv.equal !preds.(level) node) then begin
+            populate_levels t ~node ~succs:!succs ~from_level:level
+              ~to_level:(node_height - 1);
+            attempt ()
+          end
+        end
+      end
+    in
+    attempt ()
+  done
+
+(* ---- writes ------------------------------------------------------------ *)
+
+(* Function 14: CAS the value slot until success; total-orders concurrent
+   updates to one key. The linearization point is the persist. *)
+let rec update_value t n i v =
+  let old = Node.value t.mem t.ly n i in
+  if Node.cas_value t.mem t.ly n i ~expected:old ~desired:v then begin
+    Node.persist_value t.mem t.ly n i;
+    old
+  end
+  else update_value t n i v
+
+let make_linked_object t ~tid ~pred ~sorted ~keys ~values ~node_height =
+  let key = List.hd keys in
+  let block = Block_alloc.alloc_block t.mem ~tid ~ops:t.ops ~pred ~key in
+  Node.init t.mem t.ly block
+    ~node_epoch:(Mem.epoch t.mem)
+    ~node_height
+    ~sorted:(if t.cfg.Config.sorted_splits then sorted else 0)
+    ~keys ~values;
+  block
+
+(* Function 15, generalised: insert a fresh single-key node right after
+   [pred] (the head sentinel in the paper's CreateHeadSuccessor; an
+   arbitrary predecessor in the single-key-per-node configuration, where it
+   is exactly Herlihy's original insert). *)
+let create_successor t ~tid ~pred ~key ~value ~preds ~succs =
+  let node_height = random_height t ~tid in
+  let succ0 = succs.(0) in
+  let node =
+    make_linked_object t ~tid ~pred ~sorted:1 ~keys:[ key ] ~values:[ value ]
+      ~node_height
+  in
+  populate_levels t ~node ~succs ~from_level:0 ~to_level:(node_height - 1);
+  if Node.cas_next t.mem t.ly pred 0 ~expected:succ0 ~desired:node then begin
+    Node.persist_next t.mem t.ly pred 0;
+    link_higher_levels t ~tid ~node ~start:1 ~node_height ~preds ~succs;
+    true
+  end
+  else begin
+    Block_alloc.delete_linked_object t.mem ~tid node;
+    false
+  end
+
+type slot_status = Retry | Need_split | Done of int
+
+(* Function 16: claim an empty slot in an existing node under a read lock
+   (the lock only excludes concurrent splits, not other writers). *)
+let insert_into_existing t ~key ~value ~split_count ~pred0 =
+  if not (Node.Lock.read_lock t.mem pred0) then Retry
+  else if Node.split_count t.mem pred0 <> split_count then begin
+    Node.Lock.read_unlock t.mem pred0;
+    Retry
+  end
+  else begin
+    let k = t.cfg.Config.keys_per_node in
+    let finish old =
+      Node.Lock.read_unlock t.mem pred0;
+      Done old
+    in
+    let rec scan i =
+      if i >= k then begin
+        Node.Lock.read_unlock t.mem pred0;
+        Need_split
+      end
+      else begin
+        let ki = Node.key t.mem pred0 i in
+        if ki = key then finish (update_value t pred0 i value)
+        else if ki = Node.empty_key then begin
+          if Node.cas_key t.mem pred0 i ~expected:Node.empty_key ~desired:key
+          then begin
+            Node.persist_key t.mem pred0 i;
+            finish (update_value t pred0 i value)
+          end
+          else begin
+            (* Lost the race for the slot; the winner may have inserted our
+               key, in which case this becomes an update. *)
+            let ki' = Node.key t.mem pred0 i in
+            if ki' = key then finish (update_value t pred0 i value)
+            else scan (i + 1)
+          end
+        end
+        else scan (i + 1)
+      end
+    in
+    scan 0
+  end
+
+(* Function 20: split a full node. The write lock (persisted before the new
+   node becomes reachable, so an interrupted split is detectable) excludes
+   updates while keys move; the median and above migrate to a new node
+   linked immediately after. *)
+let split_node t ~tid ~preds ~succs =
+  let pred0 = preds.(0) in
+  if
+    not
+      (Node.Lock.acquire_write t.mem pred0 ~backoff:(fun () -> backoff t ~tid))
+  then ()
+  else begin
+    Node.Lock.persist_acquisition t.mem pred0;
+    let k = t.cfg.Config.keys_per_node in
+    let pairs =
+      Array.init k (fun i ->
+          (Node.key t.mem pred0 i, Node.value t.mem t.ly pred0 i))
+    in
+    if Array.exists (fun (ki, _) -> ki = Node.empty_key) pairs then
+      (* A slot freed up since the caller's scan: no split needed. *)
+      Node.Lock.write_unlock t.mem pred0
+    else begin
+      Array.sort compare pairs;
+      let half = k / 2 in
+      let moved = Array.sub pairs half (k - half) in
+      let new_keys = Array.to_list (Array.map fst moved) in
+      let new_values = Array.to_list (Array.map snd moved) in
+      let node_height = random_height t ~tid in
+      let node =
+        make_linked_object t ~tid ~pred:pred0 ~sorted:(List.length new_keys)
+          ~keys:new_keys ~values:new_values ~node_height
+      in
+      populate_levels t ~node ~succs ~from_level:0 ~to_level:(node_height - 1);
+      if
+        Node.cas_next t.mem t.ly pred0 0 ~expected:succs.(0) ~desired:node
+      then begin
+        Node.persist_next t.mem t.ly pred0 0;
+        let sc = Node.split_count t.mem pred0 in
+        Mem.write_field t.mem pred0 Node.o_split_count (sc + 1);
+        Mem.persist_field t.mem pred0 Node.o_split_count;
+        Node.set_sorted_count t.mem pred0 0;
+        let moved_key ki = List.mem ki new_keys in
+        for i = 0 to k - 1 do
+          if moved_key (Node.key t.mem pred0 i) then begin
+            Mem.write_field t.mem pred0 (Node.o_keys + i) Node.empty_key;
+            Mem.write_field t.mem pred0 (t.ly.Node.o_values + i) Node.tombstone
+          end
+        done;
+        Node.persist_all t.mem t.ly pred0;
+        Node.Lock.write_unlock t.mem pred0;
+        let f = traverse t ~tid ~recover:false (List.hd new_keys) in
+        link_higher_levels t ~tid ~node ~start:1 ~node_height ~preds:f.preds
+          ~succs:f.succs
+      end
+      else begin
+        Block_alloc.delete_linked_object t.mem ~tid node;
+        Node.Lock.write_unlock t.mem pred0
+      end
+    end
+  end
+
+(* ---- physical removal (paper Section 4.6 follow-up) --------------------- *)
+
+(* Retire an all-tombstone node: take its write lock permanently (a retired
+   node accepts no readers, so tombstoned slots cannot be resurrected), log
+   the retirement in the per-thread allocation log (post-crash reclamation
+   once unreachable), mark every next pointer, help traversals snip it out,
+   and hand the block to epoch-based reclamation. Opportunistic: any
+   failure to acquire the lock simply leaves the node tombstoned. *)
+let try_retire_node t ~tid node =
+  if Riv.equal node t.head || Riv.equal node t.tail then ()
+  else if
+    not (Node.Lock.acquire_write t.mem node ~backoff:(fun () -> backoff t ~tid))
+  then ()
+  else if not (all_tombstone t node) then Node.Lock.write_unlock t.mem node
+  else begin
+    Node.Lock.persist_acquisition t.mem node;
+    Block_alloc.log_change_attempt t.mem ~tid ~ops:t.ops ~block:node
+      ~pred:t.head ~key:(Node.key0 t.mem node);
+    mark_all_levels t node;
+    let key = Node.key0 t.mem node in
+    let rec until_unreachable budget =
+      if budget = 0 then false
+      else begin
+        let f = traverse t ~tid ~recover:false key in
+        let refs p = Riv.equal p node in
+        if Array.exists refs f.preds || Array.exists refs f.succs then begin
+          backoff t ~tid;
+          until_unreachable (budget - 1)
+        end
+        else true
+      end
+    in
+    if until_unreachable 32 then
+      match t.reclaim with
+      | Some r -> Reclaim.retire r ~tid node
+      | None -> ()
+    (* else: left marked; traversals keep snipping, and after a crash the
+       allocation-log walk reclaims it once unreachable *)
+  end
+
+(* ---- public operations -------------------------------------------------- *)
+
+let check_key key =
+  if key <= 0 || key >= Node.tail_key then invalid_arg "Skiplist: key out of range"
+
+let check_value v =
+  if v = Node.tombstone then invalid_arg "Skiplist: value 0 is reserved"
+
+(* Function 13 (upsert). Returns the previous value if the key was present. *)
+let rec upsert_impl t ~tid key value =
+  let f = traverse t ~tid ~recover:true key in
+  let pred0 = f.preds.(0) in
+  if f.found then begin
+    if not (Node.Lock.read_lock t.mem pred0) then begin
+      backoff t ~tid;
+      upsert_impl t ~tid key value
+    end
+    else if Node.split_count t.mem pred0 <> f.split_count then begin
+      Node.Lock.read_unlock t.mem pred0;
+      upsert_impl t ~tid key value
+    end
+    else begin
+      let old = update_value t pred0 f.key_index value in
+      Node.Lock.read_unlock t.mem pred0;
+      if old = Node.tombstone then None else Some old
+    end
+  end
+  else if Riv.equal pred0 t.head then begin
+    if
+      create_successor t ~tid ~pred:t.head ~key ~value ~preds:f.preds
+        ~succs:f.succs
+    then None
+    else upsert_impl t ~tid key value
+  end
+  else begin
+    match
+      insert_into_existing t ~key ~value ~split_count:f.split_count ~pred0
+    with
+    | Retry ->
+        backoff t ~tid;
+        upsert_impl t ~tid key value
+    | Need_split ->
+        if t.cfg.Config.keys_per_node = 1 then begin
+          (* single-key nodes never split: link a fresh node after pred0 *)
+          if
+            create_successor t ~tid ~pred:pred0 ~key ~value ~preds:f.preds
+              ~succs:f.succs
+          then None
+          else upsert_impl t ~tid key value
+        end
+        else begin
+          split_node t ~tid ~preds:f.preds ~succs:f.succs;
+          backoff t ~tid;
+          upsert_impl t ~tid key value
+        end
+    | Done old -> if old = Node.tombstone then None else Some old
+  end
+
+(* Function 9. *)
+let rec search_impl t ~tid key =
+  let f = traverse t ~tid ~recover:true key in
+  if not f.found then None
+  else begin
+    let n = f.preds.(0) in
+    if Node.Lock.is_write_locked (Node.Lock.word t.mem n) then begin
+      (* a retired node stays write-locked with all values tombstoned:
+         report absence rather than spinning behind its permanent lock *)
+      if t.cfg.Config.reclaim_empty_nodes && all_tombstone t n then None
+      else begin
+        backoff t ~tid;
+        search_impl t ~tid key
+      end
+    end
+    else begin
+      let v = Node.value t.mem t.ly n f.key_index in
+      if Node.split_count t.mem n <> f.split_count then search_impl t ~tid key
+      else if v = Node.tombstone then None
+      else Some v
+    end
+  end
+
+(* Section 4.6: removal tombstones the value, reusing the update path; with
+   [reclaim_empty_nodes] a node whose last live value was removed is then
+   physically retired. *)
+let rec remove_impl t ~tid key =
+  let f = traverse t ~tid ~recover:true key in
+  if not f.found then None
+  else begin
+    let pred0 = f.preds.(0) in
+    if not (Node.Lock.read_lock t.mem pred0) then begin
+      if t.cfg.Config.reclaim_empty_nodes && all_tombstone t pred0 then None
+      else begin
+        backoff t ~tid;
+        remove_impl t ~tid key
+      end
+    end
+    else if Node.split_count t.mem pred0 <> f.split_count then begin
+      Node.Lock.read_unlock t.mem pred0;
+      remove_impl t ~tid key
+    end
+    else begin
+      let old = update_value t pred0 f.key_index Node.tombstone in
+      Node.Lock.read_unlock t.mem pred0;
+      if
+        t.cfg.Config.reclaim_empty_nodes
+        && old <> Node.tombstone
+        && all_tombstone t pred0
+      then try_retire_node t ~tid pred0;
+      if old = Node.tombstone then None else Some old
+    end
+  end
+
+(* Run [f] under an epoch-based-reclamation guard so no node this
+   operation references is freed mid-flight. *)
+let with_guard t ~tid f =
+  match t.reclaim with
+  | None -> f ()
+  | Some r ->
+      Reclaim.enter r ~tid;
+      let result = try f () with e -> Reclaim.exit r ~tid; raise e in
+      Reclaim.exit r ~tid;
+      result
+
+let upsert t ~tid key value =
+  check_key key;
+  check_value value;
+  with_guard t ~tid (fun () -> upsert_impl t ~tid key value)
+
+let search t ~tid key =
+  check_key key;
+  with_guard t ~tid (fun () -> search_impl t ~tid key)
+
+let remove t ~tid key =
+  check_key key;
+  with_guard t ~tid (fun () -> remove_impl t ~tid key)
+
+let mem_key t ~tid key = search t ~tid key <> None
+
+(* Linearizable-per-node range scan: collects live pairs in [lo, hi] from
+   the bottom level, revalidating each node's split counter around its key
+   scan. *)
+let range_impl t ~tid ~lo ~hi =
+  let f = traverse t ~tid ~recover:true lo in
+  let k = t.cfg.Config.keys_per_node in
+  let acc = ref [] in
+  let rec visit n =
+    if Riv.equal n t.tail then ()
+    else if Node.key0 t.mem n > hi then ()
+    else begin
+      if Node.Lock.is_write_locked (Node.Lock.word t.mem n) then begin
+        if t.cfg.Config.reclaim_empty_nodes && all_tombstone t n then
+          (* retired: contributes nothing; move on *)
+          visit (Node.next t.mem t.ly n 0)
+        else begin
+          backoff t ~tid;
+          visit n
+        end
+      end
+      else begin
+        let sc = Node.split_count t.mem n in
+        let collected = ref [] in
+        for i = 0 to k - 1 do
+          let ki = Node.key t.mem n i in
+          if ki >= lo && ki <= hi && ki <> Node.empty_key then begin
+            let v = Node.value t.mem t.ly n i in
+            if v <> Node.tombstone then collected := (ki, v) :: !collected
+          end
+        done;
+        let next = Node.next t.mem t.ly n 0 in
+        if
+          Node.split_count t.mem n <> sc
+          || Node.Lock.is_write_locked (Node.Lock.word t.mem n)
+        then visit n (* node changed under the scan: retry it *)
+        else begin
+          acc := !collected @ !acc;
+          visit next
+        end
+      end
+    end
+  in
+  visit f.preds.(0);
+  (* preds.(0) may be the head when lo precedes every key *)
+  List.sort (fun (a, _) (b, _) -> compare a b) !acc
+
+let range t ~tid ~lo ~hi =
+  check_key lo;
+  check_key hi;
+  with_guard t ~tid (fun () -> range_impl t ~tid ~lo ~hi)
+
+(* The head's keys are sentinels; guard [visit] against scanning it. *)
+
+(* ---- host-side verification (peeks; no simulated cost) ----------------- *)
+
+(* Walk the persistent bottom level collecting live key/value pairs. *)
+let to_alist_internal t ~peek =
+  let read_field obj i =
+    if peek then Mem.peek_field t.mem obj i else Mem.read_field t.mem obj i
+  in
+  let k = t.cfg.Config.keys_per_node in
+  let rec walk n acc =
+    if Riv.is_null n || Riv.equal n t.tail then acc
+    else begin
+      let acc = ref acc in
+      for i = 0 to k - 1 do
+        let ki = read_field n (Node.o_keys + i) in
+        if ki <> Node.empty_key && ki <> Node.head_key then begin
+          let v = read_field n (t.ly.Node.o_values + i) in
+          if v <> Node.tombstone then acc := (ki, v) :: !acc
+        end
+      done;
+      walk (Riv.of_word (Node.unmark (read_field n (t.ly.Node.o_next + 0)))) !acc
+    end
+  in
+  let first =
+    Riv.of_word (Node.unmark (Mem.peek_field t.mem t.head (t.ly.Node.o_next + 0)))
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) (walk first [])
+
+let to_alist t = to_alist_internal t ~peek:true
+
+(* Number of allocator blocks linked into the bottom level (sentinels are
+   root-area objects and excluded); used by block-conservation tests. *)
+let node_count t =
+  let rec walk n acc =
+    if Riv.is_null n || Riv.equal n t.tail then acc
+    else
+      walk
+        (Riv.of_word (Node.unmark (Mem.peek_field t.mem n (t.ly.Node.o_next + 0))))
+        (acc + 1)
+  in
+  walk
+    (Riv.of_word (Node.unmark (Mem.peek_field t.mem t.head (t.ly.Node.o_next + 0))))
+    0
+
+(* Structural invariant check over the volatile image (tests):
+   - bottom-level first keys strictly increase;
+   - every level's list is a subsequence of the level below;
+   - internal keys lie in (keys[0], next.keys[0]). Nodes from older epochs
+     (awaiting lazy recovery) are exempt from the tower-completeness check.
+   Returns the list of violations found. *)
+let check_invariants t =
+  let errs = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
+  let pk obj i = Mem.peek_field t.mem obj i in
+  let nxt n level = Riv.of_word (Node.unmark (pk n (t.ly.Node.o_next + level))) in
+  let k = t.cfg.Config.keys_per_node in
+  (* bottom level ordering + internal key bounds *)
+  let rec walk0 n =
+    if Riv.equal n t.tail then ()
+    else begin
+      let k0 = pk n Node.o_keys in
+      let succ = nxt n 0 in
+      let succ_k0 = pk succ Node.o_keys in
+      if k0 >= succ_k0 then err "bottom level not sorted at key %d" k0;
+      for i = 1 to k - 1 do
+        let ki = pk n (Node.o_keys + i) in
+        if ki <> Node.empty_key then begin
+          if ki <= k0 then err "internal key %d <= first key %d" ki k0;
+          if ki >= succ_k0 then err "internal key %d >= next first key %d" ki succ_k0
+        end
+      done;
+      walk0 succ
+    end
+  in
+  walk0 (nxt t.head 0);
+  (* upper levels are sublists of level below *)
+  for level = 1 to t.cfg.Config.max_height - 1 do
+    let rec level_keys n acc lv =
+      if Riv.equal n t.tail then List.rev acc
+      else level_keys (nxt n lv) (pk n Node.o_keys :: acc) lv
+    in
+    let upper = level_keys (nxt t.head level) [] level in
+    let lower = level_keys (nxt t.head 0) [] 0 in
+    let lower_set = List.sort_uniq compare lower in
+    List.iter
+      (fun key ->
+        if not (List.mem key lower_set) then
+          err "level %d contains key %d missing from bottom" level key)
+      upper;
+    let rec sorted = function
+      | a :: b :: rest -> if a >= b then false else sorted (b :: rest)
+      | _ -> true
+    in
+    if not (sorted upper) then err "level %d not sorted" level
+  done;
+  List.rev !errs
+
+(* ---- linearizable snapshot range (paper Ch. 7 follow-up) ----------------- *)
+
+(* A strictly linearizable range query via double collect: gather the pairs
+   in [lo, hi] together with every visited node's split counter, re-read,
+   and retry until two consecutive collects agree — at which point the
+   whole result coexisted at one instant (obstruction-free, as lock-free
+   snapshots are). Value updates between collects are caught by comparing
+   the collected pairs themselves. *)
+let range_snapshot_impl t ~tid ~lo ~hi =
+  let k = t.cfg.Config.keys_per_node in
+  (* one collect: (visited nodes with split counts, pairs); None = a split
+     or retirement was in progress, retry *)
+  let collect () =
+    let f = traverse t ~tid ~recover:true lo in
+    let nodes = ref [] in
+    let pairs = ref [] in
+    let rec visit n =
+      if Riv.equal n t.tail then Some ()
+      else if Node.key0 t.mem n > hi then Some ()
+      else begin
+        let w = Node.Lock.word t.mem n in
+        if Node.Lock.is_write_locked w then
+          if t.cfg.Config.reclaim_empty_nodes && all_tombstone t n then
+            (* retired node: contributes nothing *)
+            visit (Node.next t.mem t.ly n 0)
+          else None (* mid-split: unusable collect *)
+        else begin
+          let sc = Node.split_count t.mem n in
+          nodes := (n, sc) :: !nodes;
+          for i = 0 to k - 1 do
+            let ki = Node.key t.mem n i in
+            if ki >= lo && ki <= hi && ki <> Node.empty_key then begin
+              let v = Node.value t.mem t.ly n i in
+              if v <> Node.tombstone then pairs := (ki, v) :: !pairs
+            end
+          done;
+          visit (Node.next t.mem t.ly n 0)
+        end
+      end
+    in
+    match visit f.preds.(0) with
+    | None -> None
+    | Some () ->
+        Some
+          ( !nodes,
+            List.sort (fun (a, _) (b, _) -> compare a b) !pairs )
+  in
+  let rec attempt prev =
+    match collect () with
+    | None ->
+        backoff t ~tid;
+        attempt None
+    | Some (nodes, pairs) -> begin
+        (* the collect is a snapshot if no visited node split meanwhile and
+           the previous collect saw the same contents *)
+        let stable =
+          List.for_all
+            (fun (n, sc) ->
+              Node.split_count t.mem n = sc
+              && not (Node.Lock.is_write_locked (Node.Lock.word t.mem n)))
+            nodes
+        in
+        match prev with
+        | Some prev_pairs when stable && prev_pairs = pairs -> pairs
+        | _ ->
+            if not stable then begin
+              backoff t ~tid;
+              attempt None
+            end
+            else attempt (Some pairs)
+      end
+  in
+  attempt None
+
+let range_snapshot t ~tid ~lo ~hi =
+  check_key lo;
+  check_key hi;
+  with_guard t ~tid (fun () -> range_snapshot_impl t ~tid ~lo ~hi)
+
+(* ---- reclamation introspection (fiber context for [quiesced_drain]) ----- *)
+
+(* (retired-but-pending, freed, total retirements) when reclamation is on. *)
+let reclaim_stats t =
+  Option.map
+    (fun r -> (Reclaim.pending r, Reclaim.freed r, Reclaim.retirements r))
+    t.reclaim
+
+(* Free every retired node; only sound with no operation in flight. *)
+let quiesced_drain t ~tid =
+  match t.reclaim with None -> () | Some r -> Reclaim.drain r ~tid

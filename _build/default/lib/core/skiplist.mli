@@ -1,0 +1,82 @@
+(** UPSkipList: a recoverable, PMEM-resident lock-free skip list with
+    multi-key nodes and recoverable concurrent node splits (paper Ch. 4).
+
+    Operations must run inside a simulated thread (a fiber under
+    {!Sim.Sched.run}); [tid] identifies the thread and must be stable
+    across failure-free epochs (the allocation log is per-[tid]).
+
+    Keys are integers in [(0, max_int)]; values are nonzero integers
+    (0 is the tombstone sentinel). All operations are strictly
+    linearizable across crashes: after {!Pmem.crash} plus
+    {!Memory.Mem.reconnect}, every acknowledged operation's effect is
+    preserved and in-flight operations either took effect before the crash
+    or not at all. *)
+
+type t
+
+val create :
+  mem:Memory.Mem.t -> cfg:Config.t -> max_threads:int -> seed:int -> t
+(** [create ~mem ~cfg ~max_threads ~seed] allocates head/tail sentinels in
+    [mem]'s root area (host-side setup, no simulated cost). The memory
+    manager's block size must be at least {!required_block_words}[ cfg]. *)
+
+val required_block_words : Config.t -> int
+(** Allocator block size needed to hold one node of this configuration,
+    rounded up to a cache-line multiple. *)
+
+(** {1 Operations (fiber context)} *)
+
+val upsert : t -> tid:int -> int -> int -> int option
+(** Insert or update; returns the previous value if the key was present
+    (paper Function 13). Lock-free for fresh inserts; node splits are
+    deadlock-free. *)
+
+val search : t -> tid:int -> int -> int option
+(** Wait-free lookup, validated against node split counters (Function 9). *)
+
+val remove : t -> tid:int -> int -> int option
+(** Tombstoning removal (Section 4.6); returns the removed value. *)
+
+val mem_key : t -> tid:int -> int -> bool
+
+val range : t -> tid:int -> lo:int -> hi:int -> (int * int) list
+(** All live pairs with [lo <= key <= hi], sorted; each node's scan is
+    validated against its split counter. *)
+
+val range_snapshot : t -> tid:int -> lo:int -> hi:int -> (int * int) list
+(** Strictly linearizable range query (the paper's Ch. 7 follow-up):
+    double-collect with split-counter validation until two consecutive
+    collects agree, so the returned pairs all coexisted at one instant.
+    Obstruction-free: retries under concurrent splits/updates. *)
+
+(** {1 Host-side inspection (no simulated cost)} *)
+
+val to_alist : t -> (int * int) list
+(** Live pairs from the volatile image, sorted by key. *)
+
+val node_count : t -> int
+(** Allocator blocks linked into the bottom level (sentinels excluded). *)
+
+val check_invariants : t -> string list
+(** Structural-invariant violations (empty = healthy): bottom-level
+    ordering, internal-key bounds, level-sublist property. Nodes awaiting
+    lazy post-crash repair can legitimately report violations until they
+    are traversed. *)
+
+(** {1 Physical removal (paper §4.6 follow-up)} *)
+
+val reclaim_stats : t -> (int * int * int) option
+(** [(pending, freed, retirements)] when [reclaim_empty_nodes] is on:
+    retired nodes awaiting their grace period, blocks already returned to
+    the allocator, and total retirements. *)
+
+val quiesced_drain : t -> tid:int -> unit
+(** Free every retired node immediately. Fiber context; only sound when no
+    operation is in flight (tests, quiesced benchmarks). *)
+
+(** {1 Accessors} *)
+
+val config : t -> Config.t
+val mem : t -> Memory.Mem.t
+val head : t -> Memory.Riv.t
+val tail : t -> Memory.Riv.t

@@ -1,0 +1,1 @@
+lib/harness/crash_test.ml: Array Kv Lincheck List Pmem Sim

@@ -1,0 +1,1 @@
+lib/harness/crash_test.mli: Kv Lincheck

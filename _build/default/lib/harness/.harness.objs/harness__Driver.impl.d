@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Array Kv List Sim Ycsb

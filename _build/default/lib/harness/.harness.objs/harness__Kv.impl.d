@@ -1,0 +1,1 @@
+lib/harness/kv.ml: Bztree Memory Pmdk Pmem Pmwcas Upskiplist

@@ -1,0 +1,1 @@
+lib/harness/kv.mli: Memory Pmem Sim Upskiplist

@@ -1,0 +1,50 @@
+(** Crash-recovery campaigns: timed recovery (Table 5.4) and
+    linearizability-checked crash trials (Chapter 6). *)
+
+type trial = {
+  history : Lincheck.History.t;
+      (** every operation of the trial, timestamps globally monotone across
+          the crash *)
+  recovery_ns : float;
+  crash_events : int;  (** primitive events executed before the crash *)
+  kv : Kv.t;
+}
+
+val pool_open_ns : pools:int -> float
+(** Modeled cost of reconnecting pools after restart (mmap of DAX files,
+    constant in structure size): ~45 ms + ~12 ms per extra pool. *)
+
+val timed_recovery : Kv.t -> float
+(** Simulated nanoseconds of the structure's recovery fiber. *)
+
+val recovery_time_s : Kv.t -> float
+(** Total modeled recovery time in seconds: pool reopen + recovery work —
+    the quantity Table 5.4 reports. *)
+
+val run :
+  ?read_fraction:float ->
+  make:(unit -> Kv.t) ->
+  threads:int ->
+  keyspace:int ->
+  ops_per_thread:int ->
+  crash_events:int ->
+  seed:int ->
+  unit ->
+  trial
+(** One crash trial: recorded preload, upsert-heavy workload crashed at a
+    randomized point, reconnect + recovery, recorded re-touch of every
+    key. *)
+
+val campaign :
+  ?read_fraction:float ->
+  make:(unit -> Kv.t) ->
+  threads:int ->
+  keyspace:int ->
+  ops_per_thread:int ->
+  crash_events:int ->
+  seed:int ->
+  trials:int ->
+  unit ->
+  (int * Lincheck.Checker.violation) list
+(** Run [trials] independent trials and check each history; empty result =
+    every trial strictly linearizable. *)

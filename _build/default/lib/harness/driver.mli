@@ -1,0 +1,42 @@
+(** Workload execution: preload, timed playback, latency collection.
+    Throughput is total operations over the longest thread's virtual span;
+    per-operation latencies are virtual-time differences (the thesis's
+    methodology). *)
+
+type result = {
+  ops : int;
+  sim_ns : float;  (** simulated span of the whole run *)
+  throughput_mops : float;  (** simulated million operations per second *)
+  read_lat : Sim.Stats.t;  (** nanoseconds per read *)
+  update_lat : Sim.Stats.t;
+  insert_lat : Sim.Stats.t;
+  scan_lat : Sim.Stats.t;
+}
+
+val value_of : tid:int -> seq:int -> int
+(** Unique nonzero value for an upsert (below BzTree's 2^50 bound). *)
+
+val preload : Kv.t -> threads:int -> n:int -> unit
+(** Insert keys [1..n] from [threads] fibers (round-robin). *)
+
+val run_workload :
+  Kv.t ->
+  spec:Ycsb.Workload.spec ->
+  threads:int ->
+  n_initial:int ->
+  ops_per_thread:int ->
+  seed:int ->
+  result
+(** Generate per-thread streams and play them back, one fiber per thread. *)
+
+val throughput_trials :
+  Kv.t ->
+  spec:Ycsb.Workload.spec ->
+  threads:int ->
+  n_initial:int ->
+  ops_per_thread:int ->
+  seed:int ->
+  trials:int ->
+  float * float
+(** Mean and standard deviation of throughput over [trials] seeded runs
+    (the paper's 3-trial averages with error bars). *)

@@ -1,0 +1,155 @@
+(* Uniform key-value interface over the three evaluated structures, plus
+   fixture construction (simulated machine + memory manager + structure).
+
+   Each fixture owns its own simulated PMEM so experiments are independent
+   and reproducible. [reconnect] performs the host-side part of recovery
+   (epoch / run-id bump, dropped DRAM caches); [recover] is the structure's
+   post-crash work as a timed fiber (PMwCAS descriptor scan, transaction
+   rollback; UPSkipList defers everything, so its recover is empty). *)
+
+module Mem = Memory.Mem
+
+type t = {
+  name : string;
+  upsert : tid:int -> int -> int -> int option;
+  search : tid:int -> int -> int option;
+  remove : tid:int -> int -> int option;
+  range : tid:int -> lo:int -> hi:int -> (int * int) list;
+  recover : tid:int -> unit;
+  quiesce : tid:int -> unit;
+      (* free deferred reclamation work; call only with no ops in flight *)
+  reconnect : unit -> unit;
+  to_alist : unit -> (int * int) list;
+  pmem : Pmem.t;
+  mem : Mem.t;
+  pools : int;  (* pools reopened at reconnect (for recovery-time model) *)
+}
+
+type sys = {
+  mode : Pmem.mode;
+  latency : Pmem.Latency.params;
+  numa_nodes : int;
+  pool_words : int;  (* per pool *)
+  stripe_words : int;
+      (* Striped-mode interleave granularity. The paper stripes at 2 MiB
+         over hundreds of GiB — a vanishing fraction of the data; simulated
+         datasets are ~10^5 words, so the stripe must scale down with them
+         or all data lands on one NUMA node's bandwidth queue. *)
+  eviction_probability : float;
+  seed : int;
+  max_threads : int;
+}
+
+let default_sys =
+  {
+    mode = Pmem.Multi_pool;
+    latency = Pmem.Latency.default;
+    numa_nodes = 4;
+    pool_words = 1 lsl 21;
+    stripe_words = 512;
+    eviction_probability = 0.0;
+    seed = 42;
+    max_threads = 200;
+  }
+
+let make_pmem sys =
+  let n_pools = match sys.mode with Pmem.Multi_pool -> sys.numa_nodes | Pmem.Striped -> 1 in
+  let pool_words =
+    match sys.mode with
+    | Pmem.Multi_pool -> sys.pool_words
+    | Pmem.Striped -> sys.pool_words * sys.numa_nodes
+  in
+  Pmem.create
+    {
+      Pmem.numa_nodes = sys.numa_nodes;
+      pool_words;
+      n_pools;
+      mode = sys.mode;
+      stripe_words = sys.stripe_words;
+      latency = sys.latency;
+      eviction_probability = sys.eviction_probability;
+      cache_lines = 4096;
+      seed = sys.seed;
+    }
+
+let machine t = Pmem.machine t.pmem
+
+(* ---- UPSkipList --------------------------------------------------------- *)
+
+let make_upskiplist ?(cfg = Upskiplist.Config.default) ?(n_arenas = 8) sys =
+  let pmem = make_pmem sys in
+  let block_words = Upskiplist.Skiplist.required_block_words cfg in
+  let mem =
+    Mem.create ~pmem ~chunk_words:(64 * block_words) ~block_words ~n_arenas
+  in
+  Mem.format mem;
+  let sl =
+    Upskiplist.Skiplist.create ~mem ~cfg ~max_threads:sys.max_threads
+      ~seed:(sys.seed + 17)
+  in
+  {
+    name = "UPSkipList";
+    upsert = (fun ~tid k v -> Upskiplist.Skiplist.upsert sl ~tid k v);
+    search = (fun ~tid k -> Upskiplist.Skiplist.search sl ~tid k);
+    remove = (fun ~tid k -> Upskiplist.Skiplist.remove sl ~tid k);
+    range = (fun ~tid ~lo ~hi -> Upskiplist.Skiplist.range sl ~tid ~lo ~hi);
+    recover = (fun ~tid:_ -> () (* deferred into normal operation *));
+    quiesce = (fun ~tid -> Upskiplist.Skiplist.quiesced_drain sl ~tid);
+    reconnect = (fun () -> Mem.reconnect mem);
+    to_alist = (fun () -> Upskiplist.Skiplist.to_alist sl);
+    pmem;
+    mem;
+    pools = (Pmem.config pmem).Pmem.n_pools;
+  }
+
+(* ---- BzTree -------------------------------------------------------------- *)
+
+let make_bztree ?(leaf_capacity = 64) ?(fanout = 16) ?(n_descriptors = 500_000)
+    sys =
+  let pmem = make_pmem sys in
+  let mem = Mem.create ~pmem ~chunk_words:(1 lsl 14) ~block_words:8 ~n_arenas:1 in
+  Mem.format mem;
+  let pmw = Pmwcas.create_poked ~mem ~pool:0 ~n_descriptors in
+  let bz =
+    Bztree.create ~mem ~pmw ~leaf_capacity ~fanout ~max_threads:sys.max_threads
+  in
+  {
+    name = "BzTree";
+    upsert = (fun ~tid k v -> Bztree.upsert bz ~tid k v);
+    search = (fun ~tid k -> Bztree.search bz ~tid k);
+    remove = (fun ~tid k -> Bztree.remove bz ~tid k);
+    range = (fun ~tid ~lo ~hi -> Bztree.range bz ~tid ~lo ~hi);
+    recover = (fun ~tid:_ -> Bztree.recover bz);
+    quiesce = (fun ~tid:_ -> ());
+    reconnect = (fun () -> Mem.reconnect mem);
+    to_alist = (fun () -> Bztree.to_alist bz);
+    pmem;
+    mem;
+    pools = (Pmem.config pmem).Pmem.n_pools;
+  }
+
+(* ---- PMDK lock-based skip list ------------------------------------------- *)
+
+let make_pmdk_list ?(max_height = 24) sys =
+  let pmem = make_pmem sys in
+  let mem = Mem.create ~pmem ~chunk_words:(1 lsl 14) ~block_words:8 ~n_arenas:1 in
+  Mem.format mem;
+  let tx = Pmdk.Tx.create_poked ~mem ~max_threads:sys.max_threads in
+  let sl =
+    Pmdk.Lock_skiplist.create ~mem ~tx ~max_height ~max_threads:sys.max_threads
+      ~seed:(sys.seed + 23)
+  in
+  {
+    name = "PMDK skip list";
+    upsert = (fun ~tid k v -> Pmdk.Lock_skiplist.upsert sl ~tid k v);
+    search = (fun ~tid k -> Pmdk.Lock_skiplist.search sl ~tid k);
+    remove = (fun ~tid k -> Pmdk.Lock_skiplist.remove sl ~tid k);
+    range = (fun ~tid ~lo ~hi -> Pmdk.Lock_skiplist.range sl ~tid ~lo ~hi);
+    recover = (fun ~tid:_ -> Pmdk.Lock_skiplist.recover sl);
+    quiesce = (fun ~tid:_ -> ());
+    reconnect = (fun () -> Pmdk.Tx.reconnect tx);
+    to_alist = (fun () -> Pmdk.Lock_skiplist.to_alist sl);
+    pmem;
+    mem;
+    pools = (Pmem.config pmem).Pmem.n_pools;
+  }

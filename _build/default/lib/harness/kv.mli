@@ -1,0 +1,46 @@
+(** Uniform key-value interface over the three evaluated structures plus
+    fixture construction (simulated machine + memory manager + structure).
+
+    Operation closures run in fiber context; [reconnect] is the host-side
+    part of recovery (epoch / run-id bump), [recover] the structure's timed
+    post-crash work. *)
+
+type t = {
+  name : string;
+  upsert : tid:int -> int -> int -> int option;
+  search : tid:int -> int -> int option;
+  remove : tid:int -> int -> int option;
+  range : tid:int -> lo:int -> hi:int -> (int * int) list;
+  recover : tid:int -> unit;
+  quiesce : tid:int -> unit;
+      (** free deferred reclamation work; fiber context, no ops in flight *)
+  reconnect : unit -> unit;
+  to_alist : unit -> (int * int) list;
+  pmem : Pmem.t;
+  mem : Memory.Mem.t;
+  pools : int;
+}
+
+type sys = {
+  mode : Pmem.mode;
+  latency : Pmem.Latency.params;
+  numa_nodes : int;
+  pool_words : int;  (** per pool; the striped pool gets [numa_nodes ×] this *)
+  stripe_words : int;
+      (** striped-mode interleave granularity, scaled down with the
+          simulated dataset (see kv.ml) *)
+  eviction_probability : float;
+  seed : int;
+  max_threads : int;
+}
+
+val default_sys : sys
+(** Multi-pool, Optane-like latency, 4 nodes, 2^21 words per pool. *)
+
+val make_pmem : sys -> Pmem.t
+val machine : t -> Sim.Sched.machine
+
+val make_upskiplist : ?cfg:Upskiplist.Config.t -> ?n_arenas:int -> sys -> t
+val make_bztree :
+  ?leaf_capacity:int -> ?fanout:int -> ?n_descriptors:int -> sys -> t
+val make_pmdk_list : ?max_height:int -> sys -> t

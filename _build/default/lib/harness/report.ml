@@ -1,0 +1,65 @@
+(* Plain-text table and series printers for the benchmark output.
+
+   Every figure is rendered as a data series (x = threads, y = Mops/s or
+   latency), every table as aligned columns — the same rows/series the
+   paper reports, ready to plot. *)
+
+let heading title =
+  let line = String.make (String.length title) '=' in
+  Fmt.pr "@.%s@.%s@." title line
+
+let subheading title = Fmt.pr "@.-- %s --@." title
+
+(* Print a table: column headers plus rows of strings, aligned. *)
+let table ~headers ~rows =
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure headers;
+  List.iter measure rows;
+  let print_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell)
+        row
+    in
+    Fmt.pr "  %s@." (String.concat "  " cells)
+  in
+  print_row headers;
+  print_row (List.map (fun w -> String.make w '-') (Array.to_list widths |> List.map (fun w -> w)));
+  List.iter print_row rows
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+
+(* A throughput series: one row per thread count, one column per system. *)
+let series ~title ~x_label ~x_values ~columns =
+  subheading title;
+  let headers = x_label :: List.map fst columns in
+  let rows =
+    List.mapi
+      (fun i x ->
+        string_of_int x
+        :: List.map
+             (fun (_, ys) ->
+               let v, sd = List.nth ys i in
+               Printf.sprintf "%s ±%s" (f3 v) (f2 sd))
+             columns)
+      x_values
+  in
+  table ~headers ~rows
+
+let percentiles = [ 50.0; 90.0; 99.0; 99.9; 99.99 ]
+
+let latency_row name (stats : Sim.Stats.t) =
+  name
+  :: List.map (fun p -> f2 (Sim.Stats.percentile stats p /. 1000.0)) percentiles
+
+let latency_table ~title ~rows =
+  subheading title;
+  table
+    ~headers:("operation" :: List.map (fun p -> Printf.sprintf "p%g (us)" p) percentiles)
+    ~rows

@@ -1,0 +1,20 @@
+(** Strict-linearizability checker for unique-value upsert/read histories
+    spanning crashes (the analysis of the paper's Chapter 6).
+
+    Soundness relies on two harness guarantees: every upsert returns the
+    value it overwrote, and written values are unique per key, so effective
+    writes form a single observable chain per key. Detected violation
+    classes: lost updates (including across crashes), forks, out-of-thin-air
+    and stale reads, chain orders contradicting real time, and in-flight
+    operations resurrected after a crash (strict linearizability forbids
+    post-crash linearization). *)
+
+type violation = { key : int; message : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : History.t -> violation list
+(** Empty result = the history is strictly linearizable (for this
+    operation class). *)
+
+val is_linearizable : History.t -> bool

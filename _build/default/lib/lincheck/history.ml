@@ -1,0 +1,50 @@
+(* Operation histories for black-box strict-linearizability analysis
+   (paper Chapter 6).
+
+   The thesis reduces upserts to conditional-swap operations by logging the
+   previous value each upsert returns, and ensures written values are
+   unique per key. A history is a set of timed events plus crash markers;
+   timestamps are globally monotone across crashes (the harness offsets
+   each failure-free era's virtual clock). Operations that were in flight
+   at a crash have [res = infinity] and [completed = false]. *)
+
+type kind =
+  | Upsert of { value : int; prev : int option }
+      (** wrote [value]; observed previous value [prev] (None = key absent) *)
+  | Read of { out : int option }  (** observed value (None = key absent) *)
+
+type event = {
+  tid : int;
+  key : int;
+  kind : kind;
+  inv : float;  (** invocation timestamp *)
+  res : float;  (** response timestamp; [infinity] when interrupted *)
+  era : int;  (** failure-free era the op was invoked in (0-based) *)
+  completed : bool;
+}
+
+type t = { events : event list; eras : int  (** number of eras (crashes + 1) *) }
+
+let create ~eras events = { events; eras }
+
+let completed_upsert ~tid ~key ~value ~prev ~inv ~res ~era =
+  { tid; key; kind = Upsert { value; prev }; inv; res; era; completed = true }
+
+let pending_upsert ~tid ~key ~value ~inv ~era =
+  {
+    tid;
+    key;
+    kind = Upsert { value; prev = None };
+    inv;
+    res = infinity;
+    era;
+    completed = false;
+  }
+
+let completed_read ~tid ~key ~out ~inv ~res ~era =
+  { tid; key; kind = Read { out }; inv; res; era; completed = true }
+
+let events t = t.events
+let eras t = t.eras
+
+let size t = List.length t.events

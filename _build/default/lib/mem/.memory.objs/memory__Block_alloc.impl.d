@@ -1,0 +1,1 @@
+lib/mem/block_alloc.ml: Mem Riv Sim

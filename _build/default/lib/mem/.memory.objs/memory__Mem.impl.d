@@ -1,0 +1,1 @@
+lib/mem/mem.ml: Array Pmem Riv Sim

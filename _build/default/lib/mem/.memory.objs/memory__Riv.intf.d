@@ -1,0 +1,1 @@
+lib/mem/riv.mli: Format

@@ -1,0 +1,271 @@
+(* Fine-grained recoverable block allocator (paper Functions 3-6).
+
+   Memory within chunks is divided into fixed-size blocks linked into
+   per-arena lock-free free lists (one set of arenas per pool/NUMA node).
+   Allocation pops from the head; deallocation appends at the tail. Before a
+   block is popped, the allocating thread persists a single-cache-line log
+   (LogChangeAttempt) naming the block, the insertion point and the key, so
+   that after a crash the *next* allocation by a thread with the same id can
+   decide whether the interrupted insertion became reachable, and reclaim
+   the block if it did not — deferring recovery out of restart time.
+
+   The free list is never empty: the last block is not popped; instead a new
+   chunk is carved and appended. *)
+
+type node_ops = {
+  key0 : Riv.t -> int;  (* first key of a linked node (head = min key) *)
+  next0 : Riv.t -> Riv.t;  (* bottom-level successor of a linked node *)
+}
+
+(* Log entry layout: two cache lines per thread. The first records the
+   pending block allocation (Function 3); the second records an in-flight
+   chunk provision, so a crash while carving or linking a fresh chunk can
+   be repaired instead of leaking the whole chunk ("if a failure occurs
+   during the provisioning of a new chunk, the thread will see when it
+   attempts its next operation that the chunk being built was
+   unsuccessfully linked in", Section 4.3.3). *)
+let log_epoch = 0
+let log_block = 1
+let log_pred = 2
+let log_key = 3
+let log_state = 4
+let state_valid = 1
+
+(* chunk-provision sub-log, second cache line *)
+let clog_epoch = 8
+let clog_state = 9
+let clog_pool = 10
+let clog_chunk = 11
+let cstate_none = 0
+let cstate_carving = 1
+let cstate_carved = 2
+
+let log_obj ~tid = Mem.riv_of_root ~pool:0 ~word:(Mem.logs_start + (tid * Mem.log_words))
+
+(* ---- Function 6: LinkInTail ------------------------------------------- *)
+
+(* Append the chain [first..last] (already internally linked, last.next =
+   null) to arena [arena] of [pool]. Helps past a stale tail pointer from a
+   previous epoch, which is what keeps deallocation deadlock-free across
+   crashes. *)
+let link_in_tail t ~pool ~arena ~first ~last =
+  let tail_slot = Mem.arena_tail_ptr ~pool ~arena in
+  let rec attach () =
+    let current_tail = Mem.read_ptr t tail_slot 0 in
+    if Mem.cas_ptr t current_tail Mem.hdr_next ~expected:Riv.null ~desired:first
+    then current_tail
+    else begin
+      if Mem.read_field t current_tail Mem.hdr_epoch <> Mem.epoch t then begin
+        (* The tail pointer was left behind by a failure; help advance it. *)
+        let next_tail = Mem.read_ptr t current_tail Mem.hdr_next in
+        if
+          (not (Riv.is_null next_tail))
+          && Mem.cas_ptr t tail_slot 0 ~expected:current_tail ~desired:next_tail
+        then Mem.persist_field t tail_slot 0
+      end;
+      Sim.Sched.yield ();
+      attach ()
+    end
+  in
+  let current_tail = attach () in
+  Mem.persist_field t current_tail Mem.hdr_next;
+  ignore (Mem.cas_ptr t tail_slot 0 ~expected:current_tail ~desired:last);
+  Mem.persist_field t tail_slot 0
+
+(* ---- Function 5: DeleteLinkedObject ----------------------------------- *)
+
+(* Return [obj] to the free list, idempotently: safe to re-run if a previous
+   attempt (or recovery of one) was interrupted at any step. *)
+let delete_linked_object t ~tid obj =
+  let pool = Mem.local_pool t ~tid in
+  let arena = tid mod t.Mem.n_arenas in
+  let kind = Mem.read_field t obj Mem.hdr_kind in
+  if kind = Mem.kind_node then begin
+    (* De-initialise the node so it can rejoin the free list. *)
+    for i = Mem.block_words t - 1 downto 3 do
+      Mem.write_field t obj i 0
+    done;
+    Mem.write_ptr t obj Mem.hdr_next Riv.null;
+    Mem.write_field t obj Mem.hdr_epoch (Mem.epoch t);
+    Mem.write_field t obj Mem.hdr_kind Mem.kind_free;
+    Mem.persist_range t obj ~first:0 ~words:(Mem.block_words t);
+    link_in_tail t ~pool ~arena ~first:obj ~last:obj
+  end
+  else begin
+    let tail = Mem.read_ptr t (Mem.arena_tail_ptr ~pool ~arena) 0 in
+    if Riv.equal obj tail then () (* already linked as the tail *)
+    else if Riv.is_null (Mem.read_ptr t obj Mem.hdr_next) then
+      link_in_tail t ~pool ~arena ~first:obj ~last:obj
+    else begin
+      (* A non-null next either means the block is still (or again) in the
+         free list, or that it was popped just before the crash and carries
+         a stale pointer (the pop and the next-clearing are separate
+         persists). Disambiguate by scanning this arena's list. *)
+      let stale_next = Mem.read_ptr t obj Mem.hdr_next in
+      let rec in_list cur =
+        (not (Riv.is_null cur))
+        && (Riv.equal cur obj || in_list (Mem.read_ptr t cur Mem.hdr_next))
+      in
+      if
+        (not (in_list (Mem.read_ptr t (Mem.arena_head_ptr ~pool ~arena) 0)))
+        && (* the CAS fails if another thread re-allocated the block in the
+              meantime (a fresh pop clears the next pointer immediately) *)
+        Mem.cas_ptr t obj Mem.hdr_next ~expected:stale_next ~desired:Riv.null
+      then begin
+        Mem.write_field t obj Mem.hdr_epoch (Mem.epoch t);
+        Mem.persist_field t obj Mem.hdr_next;
+        link_in_tail t ~pool ~arena ~first:obj ~last:obj
+      end
+    end
+  end
+
+(* ---- Function 3: LogChangeAttempt ------------------------------------- *)
+
+(* Persist this thread's intent to allocate [block] and link it after
+   [pred] with first key [key]. If the previous log entry is from an older
+   failure-free epoch, first verify that the old allocation became reachable
+   and reclaim it if it did not. *)
+let log_change_attempt t ~tid ~ops ~block ~pred ~key =
+  let log = log_obj ~tid in
+  let l_state = Mem.read_field t log log_state in
+  let l_epoch = Mem.read_field t log log_epoch in
+  if l_state = state_valid && l_epoch <> Mem.epoch t then begin
+    let l_block = Mem.read_ptr t log log_block in
+    let l_pred = Mem.read_ptr t log log_pred in
+    let l_key = Mem.read_field t log log_key in
+    (* Walk the bottom level from the recorded predecessor to the expected
+       location of the key. *)
+    let rec reachable cur =
+      if Riv.is_null cur then false
+      else begin
+        let k0 = ops.key0 cur in
+        if k0 > l_key then false
+        else if k0 = l_key then Riv.equal cur l_block
+        else reachable (ops.next0 cur)
+      end
+    in
+    if not (reachable l_pred) then delete_linked_object t ~tid l_block
+  end;
+  Mem.write_field t log log_epoch (Mem.epoch t);
+  Mem.write_ptr t log log_block block;
+  Mem.write_ptr t log log_pred pred;
+  Mem.write_field t log log_key key;
+  Mem.write_field t log log_state state_valid;
+  (* The entry occupies a single cache line: one flush suffices. *)
+  Mem.persist_field t log log_epoch
+
+(* ---- chunk-provision logging and recovery ------------------------------ *)
+
+let set_chunk_log t ~tid ~state ~pool ~chunk =
+  let log = log_obj ~tid in
+  Mem.write_field t log clog_epoch (Mem.epoch t);
+  Mem.write_field t log clog_state state;
+  Mem.write_field t log clog_pool pool;
+  Mem.write_field t log clog_chunk chunk;
+  Mem.persist_field t log clog_epoch
+
+(* Carve the blocks of an already-allocated chunk into a chain (idempotent
+   re-run of the carving loop). *)
+let carve_blocks t ~pool ~chunk =
+  let n = Mem.blocks_per_chunk t in
+  let block i = Riv.make ~pool ~chunk ~offset:(i * t.Mem.block_words) in
+  for i = 0 to n - 1 do
+    let b = block i in
+    let next = if i = n - 1 then Riv.null else block (i + 1) in
+    Mem.write_ptr t b Mem.hdr_next next;
+    Mem.write_field t b Mem.hdr_epoch (Mem.epoch t);
+    Mem.write_field t b Mem.hdr_kind Mem.kind_free;
+    Mem.flush_field t b Mem.hdr_next
+  done;
+  Sim.Sched.fence ();
+  (block 0, block (n - 1))
+
+(* Was the chunk's first block ever made reachable? A freshly carved chain
+   has block0.next = block1; a pop clears next immediately and conversion
+   to a node changes the kind, so an unlinked carved chunk is exactly
+   "kind free, next non-null, absent from the free list". *)
+let chunk_linked t ~pool ~arena ~chunk =
+  let block0 = Riv.make ~pool ~chunk ~offset:0 in
+  if Mem.read_field t block0 Mem.hdr_kind <> Mem.kind_free then true
+  else if Riv.is_null (Mem.read_ptr t block0 Mem.hdr_next) then true
+  else begin
+    let rec in_list cur =
+      (not (Riv.is_null cur))
+      && (Riv.equal cur block0 || in_list (Mem.read_ptr t cur Mem.hdr_next))
+    in
+    in_list (Mem.read_ptr t (Mem.arena_head_ptr ~pool ~arena) 0)
+  end
+
+(* Resume a chunk provision interrupted by a crash in a previous epoch. *)
+let recover_chunk_provision t ~tid =
+  let log = log_obj ~tid in
+  let state = Mem.read_field t log clog_state in
+  if state <> cstate_none && Mem.read_field t log clog_epoch <> Mem.epoch t
+  then begin
+    let pool = Mem.read_field t log clog_pool in
+    let chunk = Mem.read_field t log clog_chunk in
+    let arena = tid mod t.Mem.n_arenas in
+    if state = cstate_carving then begin
+      (* blocks may be half written and are certainly unreachable: re-carve
+         from scratch and link the chain in *)
+      let first, last = carve_blocks t ~pool ~chunk in
+      link_in_tail t ~pool ~arena ~first ~last
+    end
+    else if not (chunk_linked t ~pool ~arena ~chunk) then begin
+      (* fully carved but never published *)
+      let n = Mem.blocks_per_chunk t in
+      let first = Riv.make ~pool ~chunk ~offset:0 in
+      let last = Riv.make ~pool ~chunk ~offset:((n - 1) * t.Mem.block_words) in
+      link_in_tail t ~pool ~arena ~first ~last
+    end
+  end;
+  if state <> cstate_none then set_chunk_log t ~tid ~state:cstate_none ~pool:0 ~chunk:0
+
+(* ---- Function 4: MakeLinkedObject (allocation half) -------------------- *)
+
+(* Pop a raw block from the caller's arena, logging the attempt first. The
+   caller initialises it as a node and persists it. *)
+let alloc_block t ~tid ~ops ~pred ~key =
+  let pool = Mem.local_pool t ~tid in
+  let arena = tid mod t.Mem.n_arenas in
+  let head_slot = Mem.arena_head_ptr ~pool ~arena in
+  recover_chunk_provision t ~tid;
+  let rec loop () =
+    let new_block = Mem.read_ptr t head_slot 0 in
+    let next_block = Mem.read_ptr t new_block Mem.hdr_next in
+    if Riv.is_null next_block then begin
+      (* Free list nearly empty: provision a fresh chunk under the
+         chunk-provision log so a crash cannot leak it. *)
+      let id, _base = Mem.allocate_chunk t ~pool in
+      set_chunk_log t ~tid ~state:cstate_carving ~pool ~chunk:id;
+      let first, last = carve_blocks t ~pool ~chunk:id in
+      set_chunk_log t ~tid ~state:cstate_carved ~pool ~chunk:id;
+      link_in_tail t ~pool ~arena ~first ~last;
+      set_chunk_log t ~tid ~state:cstate_none ~pool:0 ~chunk:0;
+      loop ()
+    end
+    else begin
+      log_change_attempt t ~tid ~ops ~block:new_block ~pred ~key;
+      (* A crash after this point cannot leak the block: the log will be
+         checked on this thread's next allocation. *)
+      if Mem.cas_ptr t head_slot 0 ~expected:new_block ~desired:next_block then begin
+        Mem.persist_field t head_slot 0;
+        (* Clear the stale free-list pointer right away: narrows the
+           recovery ambiguity between "still listed" and "popped". *)
+        Mem.write_ptr t new_block Mem.hdr_next Riv.null;
+        Mem.persist_field t new_block Mem.hdr_next;
+        new_block
+      end
+      else loop ()
+    end
+  in
+  loop ()
+
+(* Number of blocks currently in an arena's free list (test/debug helper;
+   uses direct peeks, no simulated cost). *)
+let free_list_length t ~pool ~arena =
+  let rec count cur acc =
+    if Riv.is_null cur then acc
+    else count (Mem.peek_ptr t cur Mem.hdr_next) (acc + 1)
+  in
+  count (Mem.peek_ptr t (Mem.arena_head_ptr ~pool ~arena) 0) 0

@@ -1,0 +1,273 @@
+(* Memory manager for PMEM-resident structures: pool layout, failure-free
+   epochs, coarse-grained chunk allocation and RIV pointer resolution.
+
+   Every pool is formatted with a static root area (chunk 0) followed by
+   dynamically allocated chunks:
+
+     word 0                magic
+     word 1                bump pointer: next free word for chunk allocation
+     word 2                epochID (meaningful in pool 0 only)
+     words 16 ..           chunk registry: chunk id -> base word + 1
+     words arena_heads ..  per-arena free-list head blocks (RIV words)
+     words arena_tails ..  per-arena free-list tail blocks (RIV words)
+     words logs ..         per-thread allocation logs (pool 0 only)
+     words app_root ..     application roots (sentinel nodes, tree roots)
+     words chunks_start .. chunk storage
+
+   The chunk registry is persistent; its DRAM base-address cache (the only
+   thing lost in a crash) is rebuilt lazily as pointers are dereferenced,
+   which is what keeps reconnection O(pools) — practicality requirement 3. *)
+
+let magic = 0x5550534B (* "UPSK" *)
+
+let max_chunks = 2048
+let max_arenas = 64
+let max_threads = 256
+let log_words = 16  (* two cache lines: allocation log + chunk-provision log *)
+let app_root_words = 4096
+
+let magic_word = 0
+let bump_word = 1
+let epoch_word = 2
+let registry_start = 16
+let arena_heads = registry_start + max_chunks
+let arena_tails = arena_heads + max_arenas
+let logs_start = arena_tails + max_arenas
+let app_root_start = logs_start + (max_threads * log_words)
+let chunks_start =
+  let raw = app_root_start + app_root_words in
+  (raw + Pmem.line_words - 1) / Pmem.line_words * Pmem.line_words
+
+type t = {
+  pmem : Pmem.t;
+  chunk_words : int;
+  block_words : int;
+  n_arenas : int;
+  mutable epoch : int;  (* DRAM copy of pool 0's epochID *)
+  chunk_cache : int array array;  (* pool -> chunk -> base word, -1 unknown *)
+  root_bump : int array;  (* pool -> next free app-root word (setup only) *)
+  mutable chunks_allocated : int;
+}
+
+(* Object header shared by free blocks and nodes (word 2 discriminates). *)
+let hdr_next = 0 (* free block: next block in the free list *)
+let hdr_epoch = 1 (* free block: epoch it was created/freed in *)
+let hdr_kind = 2
+let kind_free = 1
+let kind_node = 2
+
+let create ~pmem ~chunk_words ~block_words ~n_arenas =
+  if n_arenas > max_arenas then invalid_arg "Mem.create: too many arenas";
+  if chunk_words mod block_words <> 0 then
+    invalid_arg "Mem.create: chunk_words must be a multiple of block_words";
+  if block_words < 8 then invalid_arg "Mem.create: block too small";
+  let cfg = Pmem.config pmem in
+  let n_pools = cfg.Pmem.n_pools in
+  {
+    pmem;
+    chunk_words;
+    block_words;
+    n_arenas;
+    epoch = 1;
+    chunk_cache = Array.init n_pools (fun _ -> Array.make (max_chunks + 1) (-1));
+    root_bump = Array.make n_pools app_root_start;
+    chunks_allocated = 0;
+  }
+
+let epoch t = t.epoch
+let pmem t = t.pmem
+let block_words t = t.block_words
+let n_pools t = (Pmem.config t.pmem).Pmem.n_pools
+
+(* The pool a thread allocates from: its NUMA node's pool when running
+   multi-pool, pool 0 when the device is striped (single pool). *)
+let local_pool t ~tid =
+  match (Pmem.config t.pmem).Pmem.mode with
+  | Pmem.Multi_pool -> Pmem.thread_node t.pmem tid
+  | Pmem.Striped -> 0
+
+(* ---- RIV resolution --------------------------------------------------- *)
+
+(* Chunk 0 addresses the static root area with pool-absolute offsets. *)
+let resolve t p =
+  if Riv.is_null p then invalid_arg "Mem.resolve: null pointer";
+  let pool = Riv.pool p and chunk = Riv.chunk p and off = Riv.offset p in
+  if chunk = 0 then Pmem.addr ~pool ~word:off
+  else begin
+    let cache = t.chunk_cache.(pool) in
+    let base =
+      let b = cache.(chunk) in
+      if b >= 0 then b
+      else begin
+        (* DRAM cache miss: rebuild the entry from the persistent registry
+           (deferred recovery of the address cache). *)
+        let b = Pmem.peek t.pmem (Pmem.addr ~pool ~word:(registry_start + chunk)) - 1 in
+        if b < 0 then invalid_arg "Mem.resolve: unregistered chunk";
+        cache.(chunk) <- b;
+        b
+      end
+    in
+    Pmem.addr ~pool ~word:(base + off)
+  end
+
+let riv_of_root ~pool ~word = Riv.make ~pool ~chunk:0 ~offset:word
+
+(* ---- field accessors (simulated-time, fiber context only) ------------- *)
+
+let read_field t obj i = Sim.Sched.read (resolve t obj + i)
+let write_field t obj i v = Sim.Sched.write (resolve t obj + i) v
+
+let cas_field t obj i ~expected ~desired =
+  Sim.Sched.cas (resolve t obj + i) ~expected ~desired
+
+let flush_field t obj i = Sim.Sched.flush (resolve t obj + i)
+
+let read_ptr t obj i = Riv.of_word (read_field t obj i)
+let write_ptr t obj i p = write_field t obj i (Riv.to_word p)
+
+let cas_ptr t obj i ~expected ~desired =
+  cas_field t obj i ~expected:(Riv.to_word expected) ~desired:(Riv.to_word desired)
+
+(* Flush every cache line overlapping [words] fields of [obj], then fence:
+   the paper's Persist primitive over a contiguous object. *)
+let persist_range t obj ~first ~words =
+  let base = resolve t obj + first in
+  let lines = ((base + words - 1) / Pmem.line_words) - (base / Pmem.line_words) in
+  for l = 0 to lines do
+    Sim.Sched.flush (base + (l * Pmem.line_words))
+  done;
+  Sim.Sched.fence ()
+
+let persist_field t obj i =
+  flush_field t obj i;
+  Sim.Sched.fence ()
+
+(* ---- setup-time accessors (no simulated cost) ------------------------- *)
+
+let peek_field t obj i = Pmem.peek t.pmem (resolve t obj + i)
+let poke_field t obj i v = Pmem.poke t.pmem (resolve t obj + i) v
+let peek_ptr t obj i = Riv.of_word (peek_field t obj i)
+let poke_ptr t obj i p = poke_field t obj i (Riv.to_word p)
+
+(* ---- static root allocation (setup only) ------------------------------ *)
+
+(* Reserve a raw word region from the chunk area at setup time (pokes).
+   Addressed via chunk 0 (pool-absolute offsets); used by subsystems that
+   manage a fixed persistent region, e.g. the PMwCAS descriptor pool. *)
+let grab_region_poked t ~pool ~words =
+  let bump = Pmem.addr ~pool ~word:bump_word in
+  let base = Pmem.peek t.pmem bump in
+  let cfg = Pmem.config t.pmem in
+  if base + words > cfg.Pmem.pool_words then
+    failwith "Mem.grab_region_poked: pool exhausted";
+  (* keep the bump pointer chunk-aligned so chunk-id arithmetic holds *)
+  let next = base + words in
+  let aligned = (next - chunks_start + t.chunk_words - 1) / t.chunk_words * t.chunk_words + chunks_start in
+  Pmem.poke t.pmem bump aligned;
+  riv_of_root ~pool ~word:base
+
+let root_alloc t ~pool ~words =
+  let w = t.root_bump.(pool) in
+  if w + words > chunks_start then failwith "Mem.root_alloc: root area full";
+  t.root_bump.(pool) <- w + words;
+  riv_of_root ~pool ~word:w
+
+(* ---- coarse-grained chunk allocation ----------------------------------- *)
+
+let chunk_id_of_base t base = ((base - chunks_start) / t.chunk_words) + 1
+
+(* Allocate a fresh chunk from [pool] by CASing the bump pointer, then
+   register it. Runs in fiber context. The registry entry is derivable from
+   the bump pointer (fixed-size chunks), so a crash between the two persists
+   cannot leak the chunk: the entry is recomputed on first resolution. *)
+let rec allocate_chunk t ~pool =
+  let bump_addr = Pmem.addr ~pool ~word:bump_word in
+  let base = Sim.Sched.read bump_addr in
+  let cfg = Pmem.config t.pmem in
+  if base + t.chunk_words > cfg.Pmem.pool_words then
+    failwith "Mem.allocate_chunk: pool exhausted";
+  if Sim.Sched.cas bump_addr ~expected:base ~desired:(base + t.chunk_words) then begin
+    Sim.Sched.flush bump_addr;
+    Sim.Sched.fence ();
+    let id = chunk_id_of_base t base in
+    if id > max_chunks then failwith "Mem.allocate_chunk: registry full";
+    let reg = Pmem.addr ~pool ~word:(registry_start + id) in
+    Sim.Sched.write reg (base + 1);
+    Sim.Sched.flush reg;
+    Sim.Sched.fence ();
+    t.chunk_cache.(pool).(id) <- base;
+    t.chunks_allocated <- t.chunks_allocated + 1;
+    (id, base)
+  end
+  else allocate_chunk t ~pool
+
+let blocks_per_chunk t = t.chunk_words / t.block_words
+
+(* Carve a fresh chunk into a singly linked list of free blocks. Returns the
+   first block. Runs in fiber context; headers are persisted so the chain is
+   recoverable. *)
+let carve_chunk t ~pool =
+  let id, _base = allocate_chunk t ~pool in
+  let n = blocks_per_chunk t in
+  let block i = Riv.make ~pool ~chunk:id ~offset:(i * t.block_words) in
+  for i = 0 to n - 1 do
+    let b = block i in
+    let next = if i = n - 1 then Riv.null else block (i + 1) in
+    write_ptr t b hdr_next next;
+    write_field t b hdr_epoch t.epoch;
+    write_field t b hdr_kind kind_free;
+    flush_field t b hdr_next
+  done;
+  Sim.Sched.fence ();
+  (block 0, block (n - 1))
+
+(* ---- pool formatting (setup) ------------------------------------------ *)
+
+let arena_head_ptr ~pool ~arena = riv_of_root ~pool ~word:(arena_heads + arena)
+let arena_tail_ptr ~pool ~arena = riv_of_root ~pool ~word:(arena_tails + arena)
+
+(* Carve an initial chunk per arena with pokes so that every free list has a
+   head block before the first simulated operation. *)
+let format t =
+  let cfg = Pmem.config t.pmem in
+  for pool = 0 to cfg.Pmem.n_pools - 1 do
+    Pmem.poke t.pmem (Pmem.addr ~pool ~word:magic_word) magic;
+    Pmem.poke t.pmem (Pmem.addr ~pool ~word:bump_word) chunks_start;
+    Pmem.poke t.pmem (Pmem.addr ~pool ~word:epoch_word) 1;
+    for arena = 0 to t.n_arenas - 1 do
+      (* Initial chunk for this arena, poked directly. *)
+      let base = Pmem.peek t.pmem (Pmem.addr ~pool ~word:bump_word) in
+      Pmem.poke t.pmem (Pmem.addr ~pool ~word:bump_word) (base + t.chunk_words);
+      let id = chunk_id_of_base t base in
+      Pmem.poke t.pmem (Pmem.addr ~pool ~word:(registry_start + id)) (base + 1);
+      t.chunk_cache.(pool).(id) <- base;
+      t.chunks_allocated <- t.chunks_allocated + 1;
+      let n = blocks_per_chunk t in
+      let block i = Riv.make ~pool ~chunk:id ~offset:(i * t.block_words) in
+      for i = 0 to n - 1 do
+        let b = block i in
+        let next = if i = n - 1 then Riv.null else block (i + 1) in
+        poke_ptr t b hdr_next next;
+        poke_field t b hdr_epoch 1;
+        poke_field t b hdr_kind kind_free
+      done;
+      poke_ptr t (arena_head_ptr ~pool ~arena) 0 (block 0);
+      poke_ptr t (arena_tail_ptr ~pool ~arena) 0 (block (n - 1))
+    done
+  done;
+  t.epoch <- 1
+
+(* ---- crash recovery ---------------------------------------------------- *)
+
+(* Reconnect after a failure: advance the failure-free epoch and drop the
+   DRAM address cache. Everything else (log checks, free-list repair,
+   structure repair) is deferred into normal operation, so this is O(pools)
+   regardless of structure size. *)
+let reconnect t =
+  let a = Pmem.addr ~pool:0 ~word:epoch_word in
+  let e = Pmem.peek t.pmem a + 1 in
+  Pmem.poke t.pmem a e;
+  t.epoch <- e;
+  Array.iter (fun cache -> Array.fill cache 0 (Array.length cache) (-1)) t.chunk_cache
+
+let chunks_allocated t = t.chunks_allocated

@@ -1,0 +1,33 @@
+(** Extended Region-ID-in-Value (RIV) persistent pointers: a single-word
+    reference encoding pool (NUMA node), chunk (dynamically allocated
+    segment) and word offset, per the paper's extension of Chen et al. *)
+
+type t = private int
+(** Single-word persistent pointer. The representation fits in an OCaml int
+    so it can be stored directly in simulated PMEM words. *)
+
+val null : t
+val is_null : t -> bool
+
+val max_pool : int
+val max_chunk : int
+val max_offset : int
+
+val make : pool:int -> chunk:int -> offset:int -> t
+(** Raises [Invalid_argument] when a component is out of range. *)
+
+val pool : t -> int
+val chunk : t -> int
+val offset : t -> int
+
+val add : t -> int -> t
+(** [add p n] displaces the offset by [n] words within the same chunk. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_word : t -> int
+(** The raw word stored in persistent memory. *)
+
+val of_word : int -> t
+(** Reinterpret a word read from persistent memory as a pointer. *)

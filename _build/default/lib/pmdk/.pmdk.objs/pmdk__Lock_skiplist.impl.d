@@ -1,0 +1,1 @@
+lib/pmdk/lock_skiplist.ml: Array List Memory Pmem Sim Tx

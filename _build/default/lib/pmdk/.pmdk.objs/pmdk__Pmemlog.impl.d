@@ -1,0 +1,1 @@
+lib/pmdk/pmemlog.ml: Array List Memory Pmem Sim

@@ -1,0 +1,1 @@
+lib/pmdk/tx.ml: Hashtbl List Memory Pmem Sim

@@ -1,0 +1,127 @@
+(* libpmemlog: an append-only, crash-consistent persistent log.
+
+   The thesis instruments its correctness campaign with libpmemlog because
+   DRAM-side operation logs would not survive the power failures it
+   injects (Section 6.1.1). This reimplementation follows the same
+   contract: appends are atomic — after a crash the log contains exactly
+   the committed prefix; a torn in-flight entry beyond the committed mark
+   is invisible.
+
+   Layout (word offsets within the reserved region):
+     0  committed  — number of payload+header words durably in the log
+     1  reserved   — bump pointer for in-flight appends
+     8  data       — entries: [length, payload...]
+
+   An append reserves space with a CAS on [reserved], writes and flushes
+   its entry, then waits its turn to advance [committed] (in reservation
+   order, so the committed prefix never contains holes). *)
+
+module Mem = Memory.Mem
+module Riv = Memory.Riv
+
+let o_committed = 0
+let o_reserved = 1
+let data_start = 8
+
+type t = {
+  mem : Mem.t;
+  pool : int;
+  base : int;  (* first word of the region *)
+  words : int;  (* region capacity *)
+}
+
+exception Log_full
+
+let create_poked ~mem ~pool ~words =
+  if words < data_start + 2 then invalid_arg "Pmemlog.create_poked: too small";
+  let region = Mem.grab_region_poked mem ~pool ~words in
+  let base = Riv.offset region in
+  let pmem = Mem.pmem mem in
+  Pmem.poke pmem (Pmem.addr ~pool ~word:(base + o_committed)) data_start;
+  Pmem.poke pmem (Pmem.addr ~pool ~word:(base + o_reserved)) data_start;
+  { mem; pool; base; words }
+
+let addr t i = Pmem.addr ~pool:t.pool ~word:(t.base + i)
+
+(* Append [payload]; atomic with respect to crashes. Fiber context. *)
+let append t payload =
+  let len = Array.length payload in
+  let entry_words = len + 1 in
+  (* reserve *)
+  let rec reserve () =
+    let start = Sim.Sched.read (addr t o_reserved) in
+    if start + entry_words > t.words then raise Log_full;
+    if
+      Sim.Sched.cas (addr t o_reserved) ~expected:start
+        ~desired:(start + entry_words)
+    then start
+    else reserve ()
+  in
+  let start = reserve () in
+  (* write and persist the entry *)
+  Sim.Sched.write (addr t start) len;
+  Array.iteri (fun i v -> Sim.Sched.write (addr t (start + 1 + i)) v) payload;
+  let first_line = (t.base + start) / Pmem.line_words in
+  let last_line = (t.base + start + entry_words - 1) / Pmem.line_words in
+  for l = first_line to last_line do
+    Sim.Sched.flush (Pmem.addr ~pool:t.pool ~word:(l * Pmem.line_words))
+  done;
+  Sim.Sched.fence ();
+  (* commit in reservation order so the durable prefix has no holes *)
+  let rec commit () =
+    let c = Sim.Sched.read (addr t o_committed) in
+    if c = start then begin
+      if
+        Sim.Sched.cas (addr t o_committed) ~expected:start
+          ~desired:(start + entry_words)
+      then begin
+        Sim.Sched.flush (addr t o_committed);
+        Sim.Sched.fence ()
+      end
+      else commit ()
+    end
+    else begin
+      Sim.Sched.yield ();
+      commit ()
+    end
+  in
+  commit ()
+
+(* All committed entries, oldest first. Fiber context. *)
+let read_all t =
+  let committed = Sim.Sched.read (addr t o_committed) in
+  let rec walk pos acc =
+    if pos >= committed then List.rev acc
+    else begin
+      let len = Sim.Sched.read (addr t pos) in
+      let payload = Array.init len (fun i -> Sim.Sched.read (addr t (pos + 1 + i))) in
+      walk (pos + len + 1) (payload :: acc)
+    end
+  in
+  walk data_start []
+
+(* Host-side variant over the *persistent* image: what a post-crash reader
+   would recover (tests). *)
+let peek_all_persistent t =
+  let pmem = Mem.pmem t.mem in
+  let peek i = Pmem.peek_persistent pmem (addr t i) in
+  let committed = peek o_committed in
+  let rec walk pos acc =
+    if pos >= committed then List.rev acc
+    else begin
+      let len = peek pos in
+      let payload = Array.init len (fun i -> peek (pos + 1 + i)) in
+      walk (pos + len + 1) (payload :: acc)
+    end
+  in
+  walk data_start []
+
+(* Post-crash reconnection: reset the reservation mark to the committed
+   prefix, discarding any torn tail. Host-side. *)
+let reconnect t =
+  let pmem = Mem.pmem t.mem in
+  let committed = Pmem.peek pmem (addr t o_committed) in
+  Pmem.poke pmem (addr t o_reserved) committed
+
+let committed_words t = Pmem.peek (Mem.pmem t.mem) (addr t o_committed) - data_start
+let capacity_words t = t.words - data_start

@@ -1,0 +1,1 @@
+lib/pmem/pmem.ml: Array Bytes Hashtbl Latency Sim

@@ -1,0 +1,1 @@
+lib/pmem/pmem.mli: Latency Sim

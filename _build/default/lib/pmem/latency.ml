@@ -1,0 +1,53 @@
+(* Latency and bandwidth parameters of the simulated persistent memory.
+
+   Defaults follow the Optane DC measurements cited in the paper
+   (Izraelevitz et al.): ~305 ns random read, ~94 ns to reach the
+   persistence domain on store+flush, ~2.8 GB/s load bandwidth and
+   ~1.5 GB/s store bandwidth with a 256 B internal block size, and a
+   memory controller that saturates under a modest number of concurrent
+   writers. Remote NUMA accesses pay a multiplier. *)
+
+type params = {
+  cache_hit_ns : float;  (* CPU-cache hit (load or store) *)
+  pmem_read_ns : float;  (* cache-miss load served from PMEM *)
+  read_service_ns : float;  (* controller occupancy per 64 B line read *)
+  write_persist_ns : float;  (* store reaching the persistence domain *)
+  write_service_ns : float;
+      (* controller occupancy per flushed line; reflects the 256 B internal
+         block rewrite at ~1.5 GB/s *)
+  fence_ns : float;  (* SFENCE *)
+  cas_extra_ns : float;  (* lock-prefix overhead on top of the access *)
+  clean_flush_ns : float;  (* CLWB of a clean line *)
+  remote_multiplier : float;  (* penalty for a non-local NUMA access *)
+  jitter : float;  (* multiplicative noise amplitude, e.g. 0.05 *)
+}
+
+let default =
+  {
+    cache_hit_ns = 3.0;
+    pmem_read_ns = 305.0;
+    read_service_ns = 23.0;
+    write_persist_ns = 94.0;
+    write_service_ns = 170.0;
+    fence_ns = 12.0;
+    cas_extra_ns = 18.0;
+    clean_flush_ns = 6.0;
+    remote_multiplier = 1.8;
+    jitter = 0.05;
+  }
+
+(* A variant with DRAM-like timings, handy for unit tests that only care
+   about functional behaviour and want fast runs. *)
+let uniform =
+  {
+    cache_hit_ns = 1.0;
+    pmem_read_ns = 1.0;
+    read_service_ns = 0.0;
+    write_persist_ns = 1.0;
+    write_service_ns = 0.0;
+    fence_ns = 1.0;
+    cas_extra_ns = 1.0;
+    clean_flush_ns = 1.0;
+    remote_multiplier = 1.0;
+    jitter = 0.0;
+  }

@@ -1,0 +1,368 @@
+(* Simulated persistent memory: pools of 64-bit words behind a CPU-cache
+   model with explicit flush/fence persistence, a NUMA topology, and crash
+   injection.
+
+   Two images are kept per pool:
+     - [volatile]: what loads observe (stores land here immediately — the
+       cache-coherent view shared by all simulated threads);
+     - [persistent]: what survives a crash. A store only reaches it when the
+       cache line holding it is flushed.
+   Dirty lines are tracked per pool; a crash discards them (optionally
+   persisting a random subset first, modelling incidental evictions).
+
+   Addresses pack a pool id and a word index into one int; cache lines are
+   8 words (64 bytes). A small direct-mapped per-thread cache decides
+   hit/miss for *timing only* — correctness always reads [volatile]. *)
+
+module Latency = Latency
+
+type mode = Striped | Multi_pool
+
+let pool_shift = 40
+let line_words = 8
+let words_mask = (1 lsl pool_shift) - 1
+
+type config = {
+  numa_nodes : int;
+  pool_words : int;
+  n_pools : int;
+  mode : mode;
+  stripe_words : int;
+  latency : Latency.params;
+  eviction_probability : float;  (* chance a dirty line persists at crash *)
+  cache_lines : int;  (* per-thread timing-cache entries *)
+  seed : int;
+}
+
+let default_config =
+  {
+    numa_nodes = 4;
+    pool_words = 1 lsl 21;
+    n_pools = 4;
+    mode = Multi_pool;
+    stripe_words = 1 lsl 18;  (* 2 MiB stripes, as in the testbed *)
+    latency = Latency.default;
+    eviction_probability = 0.0;
+    cache_lines = 4096;
+    seed = 42;
+  }
+
+type pool = {
+  id : int;
+  home_node : int;
+  volatile : int array;
+  persistent : int array;
+  dirty : Bytes.t;  (* one byte per line *)
+}
+
+type counters = {
+  mutable loads : int;
+  mutable load_misses : int;
+  mutable stores : int;
+  mutable cas_ops : int;
+  mutable cas_failures : int;
+  mutable flushes : int;
+  mutable dirty_flushes : int;
+  mutable fences : int;
+  mutable remote_accesses : int;
+  mutable accesses : int;
+}
+
+let fresh_counters () =
+  {
+    loads = 0;
+    load_misses = 0;
+    stores = 0;
+    cas_ops = 0;
+    cas_failures = 0;
+    flushes = 0;
+    dirty_flushes = 0;
+    fences = 0;
+    remote_accesses = 0;
+    accesses = 0;
+  }
+
+type t = {
+  config : config;
+  pools : pool array;
+  read_free_at : float array;  (* per NUMA node: controller read channel *)
+  write_free_at : float array;  (* per NUMA node: controller write channel *)
+  caches : (int, int array) Hashtbl.t;  (* tid -> direct-mapped tag array *)
+  rng : Sim.Rng.t;
+  counters : counters;
+  mutable crash_count : int;
+  mutable last_now : float;
+}
+
+let create config =
+  let make_pool id =
+    {
+      id;
+      home_node = id mod config.numa_nodes;
+      volatile = Array.make config.pool_words 0;
+      persistent = Array.make config.pool_words 0;
+      dirty = Bytes.make ((config.pool_words / line_words) + 1) '\000';
+    }
+  in
+  {
+    config;
+    pools = Array.init config.n_pools make_pool;
+    read_free_at = Array.make config.numa_nodes 0.0;
+    write_free_at = Array.make config.numa_nodes 0.0;
+    caches = Hashtbl.create 64;
+    rng = Sim.Rng.create config.seed;
+    counters = fresh_counters ();
+    crash_count = 0;
+    last_now = 0.0;
+  }
+
+let addr ~pool ~word =
+  if word < 0 then invalid_arg "Pmem.addr: negative word";
+  (pool lsl pool_shift) lor word
+
+let pool_of a = a lsr pool_shift
+let word_of a = a land words_mask
+let line_of_addr a = ((pool_of a) lsl (pool_shift - 3)) lor (word_of a / line_words)
+
+let get_pool t a =
+  let p = pool_of a in
+  if p >= Array.length t.pools then invalid_arg "Pmem: bad pool id";
+  t.pools.(p)
+
+(* NUMA node that physically holds [a]. *)
+let home_node t a =
+  let p = get_pool t a in
+  match t.config.mode with
+  | Multi_pool -> p.home_node
+  | Striped -> word_of a / t.config.stripe_words mod t.config.numa_nodes
+
+let thread_node t tid = tid mod t.config.numa_nodes
+
+(* ---- timing model ---------------------------------------------------- *)
+
+let jittered t base =
+  let j = t.config.latency.jitter in
+  if j = 0.0 then base
+  else base *. (1.0 -. j +. (2.0 *. j *. Sim.Rng.float t.rng))
+
+let numa_factor t ~tid a =
+  if home_node t a = thread_node t tid then 1.0
+  else begin
+    t.counters.remote_accesses <- t.counters.remote_accesses + 1;
+    t.config.latency.remote_multiplier
+  end
+
+(* Per-thread direct-mapped cache, timing only. Returns true on hit and
+   installs the line otherwise. *)
+let cache_access t ~tid a =
+  let tags =
+    match Hashtbl.find_opt t.caches tid with
+    | Some tags -> tags
+    | None ->
+        let tags = Array.make t.config.cache_lines (-1) in
+        Hashtbl.add t.caches tid tags;
+        tags
+  in
+  let line = line_of_addr a in
+  (* hash the line to its slot so no particular data layout aliases
+     systematically (fibonacci hashing) *)
+  let slot =
+    (line * 0x2545F4914F6CDD1D) land max_int mod t.config.cache_lines
+  in
+  if tags.(slot) = line then true
+  else begin
+    tags.(slot) <- line;
+    false
+  end
+
+(* Invalidate a line in every thread's timing cache (used when a flush
+   behaves like CLFLUSHOPT, and on crash). *)
+let invalidate_all_caches t =
+  Hashtbl.iter (fun _ tags -> Array.fill tags 0 (Array.length tags) (-1)) t.caches
+
+let queue_delay free_at node ~now ~service =
+  let start = if free_at.(node) > now then free_at.(node) else now in
+  free_at.(node) <- start +. service;
+  start -. now
+
+let load_latency t ~tid ~now a =
+  let lat = t.config.latency in
+  if cache_access t ~tid a then jittered t lat.cache_hit_ns
+  else begin
+    t.counters.load_misses <- t.counters.load_misses + 1;
+    let node = home_node t a in
+    let q = queue_delay t.read_free_at node ~now ~service:lat.read_service_ns in
+    jittered t ((lat.pmem_read_ns *. numa_factor t ~tid a) +. q)
+  end
+
+let store_latency t ~tid ~now a =
+  let lat = t.config.latency in
+  (* Stores complete into the cache; a miss still fetches the line. *)
+  if cache_access t ~tid a then jittered t lat.cache_hit_ns
+  else begin
+    t.counters.load_misses <- t.counters.load_misses + 1;
+    let node = home_node t a in
+    let q = queue_delay t.read_free_at node ~now ~service:lat.read_service_ns in
+    jittered t ((lat.pmem_read_ns *. numa_factor t ~tid a) +. q)
+  end
+
+(* ---- functional operations ------------------------------------------- *)
+
+let mark_dirty p word = Bytes.set p.dirty (word / line_words) '\001'
+let line_dirty p word = Bytes.get p.dirty (word / line_words) = '\001'
+
+let read t ~tid ~now a =
+  t.counters.loads <- t.counters.loads + 1;
+  t.counters.accesses <- t.counters.accesses + 1;
+  let p = get_pool t a in
+  let w = word_of a in
+  (p.volatile.(w), load_latency t ~tid ~now a)
+
+let write t ~tid ~now a v =
+  t.counters.stores <- t.counters.stores + 1;
+  t.counters.accesses <- t.counters.accesses + 1;
+  let p = get_pool t a in
+  let w = word_of a in
+  p.volatile.(w) <- v;
+  mark_dirty p w;
+  store_latency t ~tid ~now a
+
+let cas t ~tid ~now a expected desired =
+  t.counters.cas_ops <- t.counters.cas_ops + 1;
+  t.counters.accesses <- t.counters.accesses + 1;
+  let p = get_pool t a in
+  let w = word_of a in
+  let lat = store_latency t ~tid ~now a +. t.config.latency.cas_extra_ns in
+  if p.volatile.(w) = expected then begin
+    p.volatile.(w) <- desired;
+    mark_dirty p w;
+    (true, lat)
+  end
+  else begin
+    t.counters.cas_failures <- t.counters.cas_failures + 1;
+    (false, lat)
+  end
+
+(* Write the line containing [a] back to the persistence domain. *)
+let flush t ~tid ~now a =
+  t.counters.flushes <- t.counters.flushes + 1;
+  let p = get_pool t a in
+  let w = word_of a in
+  let lat = t.config.latency in
+  if not (line_dirty p w) then jittered t lat.clean_flush_ns
+  else begin
+    t.counters.dirty_flushes <- t.counters.dirty_flushes + 1;
+    let base = w / line_words * line_words in
+    let upto = min (base + line_words) (Array.length p.volatile) in
+    Array.blit p.volatile base p.persistent base (upto - base);
+    Bytes.set p.dirty (w / line_words) '\000';
+    let node = home_node t a in
+    let q = queue_delay t.write_free_at node ~now ~service:lat.write_service_ns in
+    jittered t ((lat.write_persist_ns *. numa_factor t ~tid a) +. q)
+  end
+
+let fence t ~tid:_ ~now:_ =
+  t.counters.fences <- t.counters.fences + 1;
+  jittered t t.config.latency.fence_ns
+
+(* Each Sched.run restarts the virtual clock at zero; the bandwidth queues
+   hold absolute times, so a clock regression marks a new run and the
+   controller backlog is cleared. *)
+let check_new_run t ~now =
+  if now < t.last_now then begin
+    Array.fill t.read_free_at 0 (Array.length t.read_free_at) 0.0;
+    Array.fill t.write_free_at 0 (Array.length t.write_free_at) 0.0
+  end;
+  t.last_now <- now
+
+let machine t : Sim.Sched.machine =
+  {
+    read =
+      (fun ~tid ~now a ->
+        check_new_run t ~now;
+        read t ~tid ~now a);
+    write =
+      (fun ~tid ~now a v ->
+        check_new_run t ~now;
+        write t ~tid ~now a v);
+    cas =
+      (fun ~tid ~now a e d ->
+        check_new_run t ~now;
+        cas t ~tid ~now a e d);
+    flush =
+      (fun ~tid ~now a ->
+        check_new_run t ~now;
+        flush t ~tid ~now a);
+    fence =
+      (fun ~tid ~now ->
+        check_new_run t ~now;
+        fence t ~tid ~now);
+  }
+
+(* ---- crash and recovery ---------------------------------------------- *)
+
+(* Power failure: dirty lines are lost unless the (simulated) hardware
+   happened to evict them first. The volatile image is then rebuilt from the
+   persistent one, as a restarting process would see. *)
+let crash t =
+  Array.iter
+    (fun p ->
+      let n_lines = Bytes.length p.dirty in
+      for line = 0 to n_lines - 1 do
+        if Bytes.get p.dirty line = '\001' then begin
+          if
+            t.config.eviction_probability > 0.0
+            && Sim.Rng.float t.rng < t.config.eviction_probability
+          then begin
+            let base = line * line_words in
+            let upto = min (base + line_words) (Array.length p.volatile) in
+            Array.blit p.volatile base p.persistent base (upto - base)
+          end;
+          Bytes.set p.dirty line '\000'
+        end
+      done;
+      Array.blit p.persistent 0 p.volatile 0 (Array.length p.volatile))
+    t.pools;
+  invalidate_all_caches t;
+  Array.fill t.read_free_at 0 (Array.length t.read_free_at) 0.0;
+  Array.fill t.write_free_at 0 (Array.length t.write_free_at) 0.0;
+  t.crash_count <- t.crash_count + 1
+
+(* Clean shutdown: everything reaches the persistence domain (the kernel
+   flushes caches when unmapping a DAX file). *)
+let clean_shutdown t =
+  Array.iter
+    (fun p ->
+      Array.blit p.volatile 0 p.persistent 0 (Array.length p.volatile);
+      Bytes.fill p.dirty 0 (Bytes.length p.dirty) '\000')
+    t.pools;
+  invalidate_all_caches t
+
+(* ---- direct access (setup / verification, no timing) ----------------- *)
+
+let peek t a = (get_pool t a).volatile.(word_of a)
+let peek_persistent t a = (get_pool t a).persistent.(word_of a)
+
+(* Write-through poke: updates both images, used for initialisation. *)
+let poke t a v =
+  let p = get_pool t a in
+  let w = word_of a in
+  p.volatile.(w) <- v;
+  p.persistent.(w) <- v
+
+let counters t = t.counters
+let crash_count t = t.crash_count
+let config t = t.config
+
+let reset_counters t =
+  let c = t.counters in
+  c.loads <- 0;
+  c.load_misses <- 0;
+  c.stores <- 0;
+  c.cas_ops <- 0;
+  c.cas_failures <- 0;
+  c.flushes <- 0;
+  c.dirty_flushes <- 0;
+  c.fences <- 0;
+  c.remote_accesses <- 0;
+  c.accesses <- 0

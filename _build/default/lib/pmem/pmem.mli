@@ -1,0 +1,109 @@
+(** Simulated persistent memory: pools of words behind a cache model with
+    explicit flush/fence persistence, NUMA topology, latency/bandwidth
+    accounting and crash injection.
+
+    Loads observe the volatile image; only flushed cache lines reach the
+    persistent image, which is what survives {!crash}. *)
+
+module Latency : sig
+  type params = Latency.params = {
+    cache_hit_ns : float;
+    pmem_read_ns : float;
+    read_service_ns : float;
+    write_persist_ns : float;
+    write_service_ns : float;
+    fence_ns : float;
+    cas_extra_ns : float;
+    clean_flush_ns : float;
+    remote_multiplier : float;
+    jitter : float;
+  }
+
+  val default : params
+  (** Optane-like timings from the paper's cited measurements. *)
+
+  val uniform : params
+  (** Flat 1 ns timings for functional tests. *)
+end
+
+type mode =
+  | Striped  (** one logical pool, lines interleaved across NUMA nodes *)
+  | Multi_pool  (** one pool per NUMA node; accesses have a definite home *)
+
+type config = {
+  numa_nodes : int;
+  pool_words : int;
+  n_pools : int;
+  mode : mode;
+  stripe_words : int;
+  latency : Latency.params;
+  eviction_probability : float;
+      (** chance an unflushed dirty line happens to persist at crash time
+          (0.0 = strictest adversary) *)
+  cache_lines : int;  (** per-thread timing-cache entries (direct-mapped) *)
+  seed : int;
+}
+
+val default_config : config
+
+type pool
+
+type counters = {
+  mutable loads : int;
+  mutable load_misses : int;
+  mutable stores : int;
+  mutable cas_ops : int;
+  mutable cas_failures : int;
+  mutable flushes : int;
+  mutable dirty_flushes : int;
+  mutable fences : int;
+  mutable remote_accesses : int;
+  mutable accesses : int;
+}
+
+type t
+
+val create : config -> t
+
+val line_words : int
+(** Words per cache line (8 = 64 bytes). *)
+
+(** {1 Addressing} *)
+
+val addr : pool:int -> word:int -> Sim.Sched.addr
+val pool_of : Sim.Sched.addr -> int
+val word_of : Sim.Sched.addr -> int
+
+val home_node : t -> Sim.Sched.addr -> int
+(** NUMA node physically holding an address (mode-dependent). *)
+
+val thread_node : t -> int -> int
+(** NUMA node a thread id is pinned to (round-robin). *)
+
+(** {1 Machine interface for the scheduler} *)
+
+val machine : t -> Sim.Sched.machine
+
+(** {1 Crash model} *)
+
+val crash : t -> unit
+(** Power failure: drop unflushed lines (modulo [eviction_probability]) and
+    rebuild the volatile image from the persistent one. *)
+
+val clean_shutdown : t -> unit
+(** Flush everything (unmapping a DAX file writes back all lines). *)
+
+(** {1 Direct access — setup and verification only, no simulated timing} *)
+
+val peek : t -> Sim.Sched.addr -> int
+val peek_persistent : t -> Sim.Sched.addr -> int
+
+val poke : t -> Sim.Sched.addr -> int -> unit
+(** Write-through store to both images. *)
+
+(** {1 Introspection} *)
+
+val counters : t -> counters
+val reset_counters : t -> unit
+val crash_count : t -> int
+val config : t -> config

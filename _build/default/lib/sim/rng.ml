@@ -1,0 +1,53 @@
+(* Deterministic splitmix64 pseudo-random generator.
+
+   Every source of randomness in the simulator (height generation, workload
+   key selection, latency jitter, crash points) draws from an explicitly
+   seeded [Rng.t] so that whole experiments replay bit-identically. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* One splitmix64 step: returns 64 pseudo-random bits. *)
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Non-negative 62-bit int. *)
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod bound
+
+let float t = float_of_int (next t) /. 4611686018427387904.0 (* 2^62 *)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+(* Number of failures before first success for a Bernoulli(p) trial:
+   used for skip-list tower heights (p = 0.5 gives the classic geometric
+   height distribution). *)
+let geometric t ~p ~max_value =
+  let rec go h = if h >= max_value || float t < p then h else go (h + 1) in
+  go 1
+
+(* Fisher-Yates shuffle, in place. *)
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* Split off an independent stream (for per-thread generators). *)
+let split t =
+  let s = next64 t in
+  { state = Int64.mul s 0x2545F4914F6CDD1DL }

@@ -1,0 +1,37 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    All randomness in the simulator flows through explicitly seeded values of
+    type {!t}, so experiments replay bit-identically given the same seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. *)
+
+val copy : t -> t
+(** Independent copy with identical future output. *)
+
+val next64 : t -> int64
+(** 64 fresh pseudo-random bits. *)
+
+val next : t -> int
+(** Uniform non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int t b] is uniform in [\[0, b)]. Raises [Invalid_argument] if [b <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val geometric : t -> p:float -> max_value:int -> int
+(** [geometric t ~p ~max_value] returns [h >= 1]: the number of trials up to
+    the first failure of a Bernoulli([p]) coin, capped at [max_value]. Used
+    for skip-list tower heights. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent stream (e.g. one per simulated thread). *)

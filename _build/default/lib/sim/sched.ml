@@ -1,0 +1,218 @@
+(* Deterministic discrete-event scheduler for simulated threads.
+
+   Each simulated thread is an OCaml-5 effects fiber. Every persistent-memory
+   primitive (read / write / CAS / flush / fence) is performed as an effect;
+   the handler applies the operation to the simulated machine immediately (the
+   primitive's atomicity point), charges its simulated latency, and parks the
+   fiber until its virtual clock catches up. The scheduler always resumes the
+   fiber with the smallest virtual wake-up time, so primitives from different
+   fibers interleave exactly as their simulated timings dictate — CAS
+   failures, lock contention and helping all arise from genuine interleaving,
+   reproducibly, on a single host core.
+
+   Crashes: when the configured crash point (an event count or a virtual
+   time) is reached, all parked fibers are discontinued with [Crashed] and
+   the run stops. The machine's unflushed cache lines are dropped separately
+   by the memory model (see Pmem). *)
+
+type addr = int
+
+type machine = {
+  read : tid:int -> now:float -> addr -> int * float;
+  write : tid:int -> now:float -> addr -> int -> float;
+  cas : tid:int -> now:float -> addr -> int -> int -> bool * float;
+  flush : tid:int -> now:float -> addr -> float;
+  fence : tid:int -> now:float -> float;
+}
+
+type _ Effect.t +=
+  | Read : addr -> int Effect.t
+  | Write : (addr * int) -> unit Effect.t
+  | Cas : (addr * int * int) -> bool Effect.t
+  | Flush : addr -> unit Effect.t
+  | Fence : unit Effect.t
+  | Charge : float -> unit Effect.t
+  | Now : float Effect.t
+  | Self : int Effect.t
+
+exception Crashed
+
+(* Convenience wrappers used by all simulated algorithms. *)
+let read a = Effect.perform (Read a)
+let write a v = Effect.perform (Write (a, v))
+let cas a ~expected ~desired = Effect.perform (Cas (a, expected, desired))
+let flush a = Effect.perform (Flush a)
+let fence () = Effect.perform Fence
+let charge ns = Effect.perform (Charge ns)
+let now () = Effect.perform Now
+let self () = Effect.perform Self
+let yield () = Effect.perform (Charge 15.0)
+
+type outcome =
+  | Completed of { time : float; events : int }
+  | Crashed_at of { time : float; events : int }
+
+(* Binary min-heap on (time, seq). [seq] breaks ties deterministically in
+   insertion order. *)
+module Heap = struct
+  type entry = { time : float; seq : int; run : unit -> unit; kill : unit -> unit }
+
+  type t = { mutable a : entry array; mutable len : int }
+
+  let dummy = { time = 0.0; seq = 0; run = ignore; kill = ignore }
+  let create () = { a = Array.make 64 dummy; len = 0 }
+
+  let less x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+  let push t e =
+    if t.len = Array.length t.a then begin
+      let bigger = Array.make (2 * t.len) dummy in
+      Array.blit t.a 0 bigger 0 t.len;
+      t.a <- bigger
+    end;
+    t.a.(t.len) <- e;
+    t.len <- t.len + 1;
+    let i = ref (t.len - 1) in
+    while !i > 0 && less t.a.(!i) t.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = t.a.(p) in
+      t.a.(p) <- t.a.(!i);
+      t.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop t =
+    if t.len = 0 then None
+    else begin
+      let top = t.a.(0) in
+      t.len <- t.len - 1;
+      t.a.(0) <- t.a.(t.len);
+      t.a.(t.len) <- dummy;
+      let i = ref 0 in
+      let continue_loop = ref true in
+      while !continue_loop do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && less t.a.(l) t.a.(!smallest) then smallest := l;
+        if r < t.len && less t.a.(r) t.a.(!smallest) then smallest := r;
+        if !smallest = !i then continue_loop := false
+        else begin
+          let tmp = t.a.(!smallest) in
+          t.a.(!smallest) <- t.a.(!i);
+          t.a.(!i) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+type crash_point = No_crash | After_events of int | At_time of float
+
+let run ?(crash = No_crash) ~machine bodies =
+  let heap = Heap.create () in
+  let clock = ref 0.0 in
+  let events = ref 0 in
+  let seq = ref 0 in
+  let crashed = ref false in
+  let crash_due () =
+    match crash with
+    | No_crash -> false
+    | After_events n -> !events >= n
+    | At_time t -> !clock >= t
+  in
+  let park time run kill =
+    incr seq;
+    Heap.push heap { time; seq = !seq; run; kill }
+  in
+  (* The handler needs the fiber's tid, so fibers are launched through a
+     per-tid [match_with] below rather than via a shared handler value. *)
+  let finished = ref 0 in
+  let launch (tid, body) =
+    let open Effect.Deep in
+    let park_result (type a) (k : (a, unit) continuation) (result : a) latency =
+      incr events;
+      if !crashed || crash_due () then begin
+        crashed := true;
+        discontinue k Crashed
+      end
+      else
+        park (!clock +. latency)
+          (fun () -> continue k result)
+          (fun () -> discontinue k Crashed)
+    in
+    let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
+      fun eff ->
+        match eff with
+        | Read a ->
+            Some
+              (fun k ->
+                let v, lat = machine.read ~tid ~now:!clock a in
+                park_result k v lat)
+        | Write (a, v) ->
+            Some
+              (fun k ->
+                let lat = machine.write ~tid ~now:!clock a v in
+                park_result k () lat)
+        | Cas (a, expected, desired) ->
+            Some
+              (fun k ->
+                let ok, lat = machine.cas ~tid ~now:!clock a expected desired in
+                park_result k ok lat)
+        | Flush a ->
+            Some
+              (fun k ->
+                let lat = machine.flush ~tid ~now:!clock a in
+                park_result k () lat)
+        | Fence ->
+            Some
+              (fun k ->
+                let lat = machine.fence ~tid ~now:!clock in
+                park_result k () lat)
+        | Charge ns -> Some (fun k -> park_result k () ns)
+        | Now -> Some (fun k -> continue k !clock)
+        | Self -> Some (fun k -> continue k tid)
+        | _ -> None
+    in
+    let start () =
+      match_with
+        (fun () -> body ~tid)
+        ()
+        {
+          retc = (fun () -> incr finished);
+          exnc =
+            (fun e ->
+              match e with Crashed -> incr finished | e -> raise e);
+          effc;
+        }
+    in
+    (* Threads begin at staggered times so identical op streams don't move in
+       lock-step. *)
+    park (0.1 *. float_of_int tid) start ignore
+  in
+  List.iter launch bodies;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some entry ->
+        if !crashed then begin
+          entry.kill ();
+          loop ()
+        end
+        else begin
+          clock := entry.time;
+          if crash_due () then begin
+            crashed := true;
+            entry.kill ();
+            loop ()
+          end
+          else begin
+            entry.run ();
+            loop ()
+          end
+        end
+  in
+  loop ();
+  ignore !finished;
+  if !crashed then Crashed_at { time = !clock; events = !events }
+  else Completed { time = !clock; events = !events }

@@ -1,0 +1,76 @@
+(** Deterministic discrete-event scheduler for simulated threads.
+
+    Simulated threads are OCaml-5 effects fibers; every persistent-memory
+    primitive is an effect charged simulated nanoseconds by a {!machine}.
+    The scheduler resumes the fiber with the smallest virtual clock, so
+    interleavings (CAS races, lock contention, helping) are genuine and
+    reproducible on a single host core. *)
+
+type addr = int
+(** A simulated physical word address (pool id in high bits, word index in
+    low bits — see [Pmem.addr]). *)
+
+type machine = {
+  read : tid:int -> now:float -> addr -> int * float;
+  write : tid:int -> now:float -> addr -> int -> float;
+  cas : tid:int -> now:float -> addr -> int -> int -> bool * float;
+  flush : tid:int -> now:float -> addr -> float;
+  fence : tid:int -> now:float -> float;
+}
+(** Memory-system callbacks. Each returns the operation's simulated latency
+    in nanoseconds; [read] and [cas] also return the value / success flag.
+    Operations take effect at invocation time (their atomicity point). *)
+
+type _ Effect.t +=
+  | Read : addr -> int Effect.t
+  | Write : (addr * int) -> unit Effect.t
+  | Cas : (addr * int * int) -> bool Effect.t
+  | Flush : addr -> unit Effect.t
+  | Fence : unit Effect.t
+  | Charge : float -> unit Effect.t
+  | Now : float Effect.t
+  | Self : int Effect.t
+
+exception Crashed
+(** Raised inside a fiber when the simulated machine crashes; fibers must not
+    catch it (the scheduler uses it to unwind). *)
+
+(** {1 Primitive wrappers} — what algorithm code calls. Only valid inside a
+    fiber run by {!run}. *)
+
+val read : addr -> int
+val write : addr -> int -> unit
+val cas : addr -> expected:int -> desired:int -> bool
+val flush : addr -> unit
+(** Flush (write back) the cache line containing [addr] to the persistence
+    domain. *)
+
+val fence : unit -> unit
+(** Store fence: orders preceding flushes before subsequent stores. *)
+
+val charge : float -> unit
+(** Charge extra simulated nanoseconds (compute time). *)
+
+val now : unit -> float
+(** Current virtual time in nanoseconds. *)
+
+val self : unit -> int
+(** The calling fiber's thread id. *)
+
+val yield : unit -> unit
+(** Reschedule after a small fixed delay (spin-wait step). *)
+
+type outcome =
+  | Completed of { time : float; events : int }
+  | Crashed_at of { time : float; events : int }
+
+type crash_point = No_crash | After_events of int | At_time of float
+
+val run :
+  ?crash:crash_point ->
+  machine:machine ->
+  (int * (tid:int -> unit)) list ->
+  outcome
+(** [run ~machine bodies] executes every [(tid, body)] fiber to completion
+    (or until the crash point), interleaving by virtual time. Returns the
+    final virtual time and the number of primitive events executed. *)

@@ -1,0 +1,1 @@
+lib/ycsb/workload.ml: Array Fmt List Sim String Zipfian

@@ -1,0 +1,1 @@
+lib/ycsb/zipfian.ml: Float Int64 Sim

@@ -1,0 +1,58 @@
+(* Zipfian key-popularity generator (Gray et al.'s algorithm, as used by
+   YCSB), with YCSB's scrambling so the hottest items are spread across the
+   keyspace instead of clustering at its start. *)
+
+type t = {
+  rng : Sim.Rng.t;
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  zeta2 : float;
+}
+
+let zeta n theta =
+  let sum = ref 0.0 in
+  for i = 1 to n do
+    sum := !sum +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !sum
+
+let create ?(theta = 0.99) ~seed n =
+  if n < 1 then invalid_arg "Zipfian.create: n < 1";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  {
+    rng = Sim.Rng.create seed;
+    n;
+    theta;
+    alpha = 1.0 /. (1.0 -. theta);
+    zetan;
+    eta =
+      (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+      /. (1.0 -. (zeta2 /. zetan));
+    zeta2;
+  }
+
+(* Rank in [0, n): rank 0 is the most popular. *)
+let next_rank t =
+  let u = Sim.Rng.float t.rng in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+  else
+    int_of_float
+      (float_of_int t.n *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha)
+    |> min (t.n - 1)
+
+(* 64-bit mix (splitmix finaliser) for scrambling. *)
+let hash x =
+  let open Int64 in
+  let z = mul (of_int x) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  to_int (shift_right_logical (logxor z (shift_right_logical z 31)) 2)
+
+(* Scrambled item in [0, n): popularity is zipfian but hot items are spread
+   uniformly over the keyspace (YCSB's ScrambledZipfianGenerator). *)
+let next_scrambled t = hash (next_rank t) mod t.n

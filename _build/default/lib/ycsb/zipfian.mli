@@ -1,0 +1,18 @@
+(** Zipfian popularity generator (Gray et al., as in YCSB), with YCSB's
+    scrambling to spread hot items across the keyspace. *)
+
+type t
+
+val create : ?theta:float -> seed:int -> int -> t
+(** [create ~seed n] draws over [\[0, n)]; [theta] defaults to YCSB's
+    0.99. *)
+
+val next_rank : t -> int
+(** Popularity rank: 0 is the hottest. *)
+
+val next_scrambled : t -> int
+(** Zipfian-popular item spread uniformly over [\[0, n)]
+    (ScrambledZipfianGenerator). *)
+
+val hash : int -> int
+(** The 64-bit finaliser used for scrambling (exposed for tests). *)

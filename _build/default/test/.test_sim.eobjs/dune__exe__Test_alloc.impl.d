@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Array List Memory Pmem Printf Sim Testsupport

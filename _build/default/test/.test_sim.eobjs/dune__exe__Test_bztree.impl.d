@@ -1,0 +1,1 @@
+test/test_bztree.ml: Alcotest Array Harness List Pmem Sim Testsupport

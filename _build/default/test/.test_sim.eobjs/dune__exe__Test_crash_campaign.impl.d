@@ -1,0 +1,1 @@
+test/test_crash_campaign.ml: Alcotest Fmt Harness Lincheck List Pmem Testsupport Upskiplist

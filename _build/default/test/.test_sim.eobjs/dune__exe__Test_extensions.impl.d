@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Fmt Harness Int Lincheck List Map Memory Pmem QCheck Sim Testsupport Upskiplist

@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Fmt Lincheck List Printf String Testsupport

@@ -1,0 +1,1 @@
+test/test_pmdk.ml: Alcotest Array Harness List Memory Pmdk Pmem Sim Testsupport

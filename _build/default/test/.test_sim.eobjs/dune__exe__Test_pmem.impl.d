@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest List Pmem Printf Sim Testsupport

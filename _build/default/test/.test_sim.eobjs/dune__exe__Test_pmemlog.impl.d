@@ -1,0 +1,1 @@
+test/test_pmemlog.ml: Alcotest Array List Memory Pmdk Pmem Printf Sim Testsupport Upskiplist

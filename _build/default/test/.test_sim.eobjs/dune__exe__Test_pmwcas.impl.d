@@ -1,0 +1,1 @@
+test/test_pmwcas.ml: Alcotest Array Memory Pmem Pmwcas Sim Testsupport

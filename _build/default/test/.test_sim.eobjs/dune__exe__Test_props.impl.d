@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Int List Map Memory Pmem Printf QCheck Sim String Testsupport Upskiplist

@@ -1,0 +1,1 @@
+test/test_range.ml: Alcotest Harness List Pmem Printf Sim Testsupport Upskiplist Ycsb

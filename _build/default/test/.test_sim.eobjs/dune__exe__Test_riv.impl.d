@@ -1,0 +1,1 @@
+test/test_riv.ml: Alcotest Memory QCheck Testsupport

@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Alcotest Array List Sim Testsupport Upskiplist

@@ -1,0 +1,1 @@
+test/test_skiplist_concurrent.ml: Alcotest Hashtbl List Sim Testsupport Upskiplist

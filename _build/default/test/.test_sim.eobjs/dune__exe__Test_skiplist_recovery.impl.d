@@ -1,0 +1,1 @@
+test/test_skiplist_recovery.ml: Alcotest Array List Memory Pmem Printf Testsupport Upskiplist

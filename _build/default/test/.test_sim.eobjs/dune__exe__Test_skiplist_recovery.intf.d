@@ -1,0 +1,1 @@
+test/test_skiplist_recovery.mli:

@@ -1,0 +1,1 @@
+test/test_ycsb.ml: Alcotest Array Hashtbl List Option Testsupport Ycsb

@@ -1,0 +1,88 @@
+(* Shared fixtures for the test suites: fast (uniform-latency) simulated
+   machines, fiber-running helpers, and structure builders. *)
+
+module Mem = Memory.Mem
+module Riv = Memory.Riv
+
+let fast_pmem ?(mode = Pmem.Multi_pool) ?(n_pools = 4) ?(pool_words = 1 lsl 20)
+    ?(eviction_probability = 0.0) ?(seed = 42) () =
+  Pmem.create
+    {
+      Pmem.numa_nodes = 4;
+      pool_words;
+      n_pools;
+      mode;
+      stripe_words = 1 lsl 12;
+      latency = Pmem.Latency.uniform;
+      eviction_probability;
+      cache_lines = 512;
+      seed;
+    }
+
+(* Run fibers to completion; fail the test on an unexpected crash. *)
+let run pmem bodies =
+  match
+    Sim.Sched.run ~machine:(Pmem.machine pmem)
+      (List.mapi (fun tid body -> (tid, body)) bodies)
+  with
+  | Sim.Sched.Completed { time; events } -> (time, events)
+  | Sim.Sched.Crashed_at _ -> Alcotest.fail "unexpected simulated crash"
+
+let run1 pmem body = ignore (run pmem [ body ])
+
+(* Run fibers expecting a crash after [events] primitives. *)
+let run_crash pmem ~events bodies =
+  match
+    Sim.Sched.run
+      ~crash:(Sim.Sched.After_events events)
+      ~machine:(Pmem.machine pmem)
+      (List.mapi (fun tid body -> (tid, body)) bodies)
+  with
+  | Sim.Sched.Crashed_at { time; events } -> (time, events)
+  | Sim.Sched.Completed _ -> Alcotest.fail "expected a simulated crash"
+
+let make_mem ?(block_words = 64) ?(blocks_per_chunk = 32) ?(n_arenas = 4) pmem =
+  let mem =
+    Mem.create ~pmem
+      ~chunk_words:(blocks_per_chunk * block_words)
+      ~block_words ~n_arenas
+  in
+  Mem.format mem;
+  mem
+
+type skiplist_fixture = {
+  pmem : Pmem.t;
+  mem : Mem.t;
+  sl : Upskiplist.Skiplist.t;
+}
+
+let make_skiplist ?(cfg = Upskiplist.Config.default) ?mode ?(max_threads = 16)
+    ?(seed = 42) () =
+  let pmem = fast_pmem ?mode ~seed () in
+  let block_words = Upskiplist.Skiplist.required_block_words cfg in
+  let mem = make_mem ~block_words pmem in
+  let sl = Upskiplist.Skiplist.create ~mem ~cfg ~max_threads ~seed in
+  { pmem; mem; sl }
+
+(* Crash the machine and reconnect the memory manager (epoch bump). *)
+let crash_and_reconnect fx =
+  Pmem.crash fx.pmem;
+  Mem.reconnect fx.mem
+
+let check_no_invariant_errors sl =
+  match Upskiplist.Skiplist.check_invariants sl with
+  | [] -> ()
+  | errs -> Alcotest.fail (String.concat "; " errs)
+
+(* Alcotest helpers *)
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let qcase ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let check_pairs msg expected actual =
+  Alcotest.(check (list (pair int int))) msg expected actual

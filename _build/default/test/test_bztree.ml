@@ -1,0 +1,190 @@
+(* Tests for the BzTree baseline: leaf search (sorted area + overflow),
+   splits and path copying, frozen-node protocol, concurrency and PMwCAS
+   recovery. *)
+
+open Testsupport
+
+let opt_int = Alcotest.(option int)
+
+let make_kv ?(leaf_capacity = 8) ?(fanout = 4) ?(n_descriptors = 8192) () =
+  let sys =
+    {
+      Harness.Kv.default_sys with
+      latency = Pmem.Latency.uniform;
+      pool_words = 1 lsl 20;
+      max_threads = 16;
+    }
+  in
+  Harness.Kv.make_bztree ~leaf_capacity ~fanout ~n_descriptors sys
+
+let test_empty_search () =
+  let kv = make_kv () in
+  run1 kv.Harness.Kv.pmem (fun ~tid ->
+      Alcotest.check opt_int "absent" None (kv.Harness.Kv.search ~tid 42))
+
+let test_insert_search () =
+  let kv = make_kv () in
+  run1 kv.Harness.Kv.pmem (fun ~tid ->
+      Alcotest.check opt_int "fresh" None (kv.Harness.Kv.upsert ~tid 42 420);
+      Alcotest.check opt_int "found" (Some 420) (kv.Harness.Kv.search ~tid 42))
+
+let test_update_returns_old () =
+  let kv = make_kv () in
+  run1 kv.Harness.Kv.pmem (fun ~tid ->
+      ignore (kv.Harness.Kv.upsert ~tid 5 50);
+      Alcotest.check opt_int "old" (Some 50) (kv.Harness.Kv.upsert ~tid 5 51);
+      Alcotest.check opt_int "new" (Some 51) (kv.Harness.Kv.search ~tid 5))
+
+let test_remove () =
+  let kv = make_kv () in
+  run1 kv.Harness.Kv.pmem (fun ~tid ->
+      ignore (kv.Harness.Kv.upsert ~tid 5 50);
+      Alcotest.check opt_int "removed" (Some 50) (kv.Harness.Kv.remove ~tid 5);
+      Alcotest.check opt_int "gone" None (kv.Harness.Kv.search ~tid 5);
+      Alcotest.check opt_int "remove absent" None (kv.Harness.Kv.remove ~tid 5))
+
+let test_splits_and_sorted_leaves () =
+  let kv = make_kv ~leaf_capacity:8 () in
+  let n = 200 in
+  run1 kv.Harness.Kv.pmem (fun ~tid ->
+      let keys = Array.init n (fun i -> i + 1) in
+      let rng = Sim.Rng.create 4 in
+      Sim.Rng.shuffle rng keys;
+      Array.iter (fun k -> ignore (kv.Harness.Kv.upsert ~tid k (k * 10))) keys;
+      for k = 1 to n do
+        Alcotest.check opt_int "found after splits" (Some (k * 10))
+          (kv.Harness.Kv.search ~tid k)
+      done);
+  check_pairs "all pairs sorted"
+    (List.init n (fun i -> (i + 1, (i + 1) * 10)))
+    (kv.Harness.Kv.to_alist ())
+
+let test_deep_tree () =
+  (* small fanout forces internal splits and a tree of height >= 3 *)
+  let kv = make_kv ~leaf_capacity:4 ~fanout:4 () in
+  let n = 400 in
+  run1 kv.Harness.Kv.pmem (fun ~tid ->
+      for k = 1 to n do
+        ignore (kv.Harness.Kv.upsert ~tid k k)
+      done;
+      for k = 1 to n do
+        Alcotest.check opt_int "found in deep tree" (Some k)
+          (kv.Harness.Kv.search ~tid k)
+      done)
+
+let test_concurrent_disjoint_inserts () =
+  let kv = make_kv ~leaf_capacity:16 ~fanout:8 () in
+  let threads = 6 and per = 60 in
+  let body ~tid =
+    for i = 0 to per - 1 do
+      let k = 1 + (i * threads) + tid in
+      ignore (kv.Harness.Kv.upsert ~tid k (k * 3))
+    done
+  in
+  ignore (run kv.Harness.Kv.pmem (List.init threads (fun _ -> body)));
+  let pairs = kv.Harness.Kv.to_alist () in
+  check_int "all present" (threads * per) (List.length pairs);
+  List.iter (fun (k, v) -> check_int "value" (k * 3) v) pairs
+
+let test_concurrent_updates_last_wins () =
+  let kv = make_kv () in
+  run1 kv.Harness.Kv.pmem (fun ~tid ->
+      for k = 1 to 10 do
+        ignore (kv.Harness.Kv.upsert ~tid k 1)
+      done);
+  let body ~tid =
+    for k = 1 to 10 do
+      for round = 1 to 10 do
+        ignore (kv.Harness.Kv.upsert ~tid k ((tid * 10000) + (round * 100) + k))
+      done
+    done
+  in
+  ignore (run kv.Harness.Kv.pmem [ body; body; body ]);
+  List.iter
+    (fun (k, v) -> check_int "value shape" k (v mod 100))
+    (kv.Harness.Kv.to_alist ())
+
+let test_insert_during_split_not_lost () =
+  (* capacity 4: splits constantly; all acked inserts must survive *)
+  let kv = make_kv ~leaf_capacity:4 ~fanout:4 () in
+  let threads = 4 and per = 50 in
+  let body ~tid =
+    for i = 0 to per - 1 do
+      let k = 1 + (i * threads) + tid in
+      ignore (kv.Harness.Kv.upsert ~tid k k)
+    done
+  in
+  ignore (run kv.Harness.Kv.pmem (List.init threads (fun _ -> body)));
+  check_int "nothing lost across splits" (threads * per)
+    (List.length (kv.Harness.Kv.to_alist ()))
+
+let test_crash_recovery_keeps_acked () =
+  let kv = make_kv ~leaf_capacity:8 () in
+  let acked = Array.make 4 [] in
+  let body ~tid =
+    for i = 0 to 199 do
+      let k = 1 + (i * 4) + tid in
+      ignore (kv.Harness.Kv.upsert ~tid k (k * 2));
+      acked.(tid) <- k :: acked.(tid)
+    done
+  in
+  ignore (run_crash kv.Harness.Kv.pmem ~events:30_000 (List.init 4 (fun _ -> body)));
+  Pmem.crash kv.Harness.Kv.pmem;
+  kv.Harness.Kv.reconnect ();
+  run1 kv.Harness.Kv.pmem (fun ~tid -> kv.Harness.Kv.recover ~tid);
+  run1 kv.Harness.Kv.pmem (fun ~tid ->
+      Array.iter
+        (List.iter (fun k ->
+             Alcotest.check opt_int "acked survives" (Some (k * 2))
+               (kv.Harness.Kv.search ~tid k)))
+        acked)
+
+let test_usable_after_crash () =
+  let kv = make_kv () in
+  ignore
+    (run_crash kv.Harness.Kv.pmem ~events:5_000
+       [
+         (fun ~tid ->
+           for k = 1 to 500 do
+             ignore (kv.Harness.Kv.upsert ~tid k k)
+           done);
+       ]);
+  Pmem.crash kv.Harness.Kv.pmem;
+  kv.Harness.Kv.reconnect ();
+  run1 kv.Harness.Kv.pmem (fun ~tid -> kv.Harness.Kv.recover ~tid);
+  run1 kv.Harness.Kv.pmem (fun ~tid ->
+      for k = 1000 to 1100 do
+        ignore (kv.Harness.Kv.upsert ~tid k k)
+      done;
+      for k = 1000 to 1100 do
+        Alcotest.check opt_int "post-crash inserts" (Some k)
+          (kv.Harness.Kv.search ~tid k)
+      done)
+
+let () =
+  Alcotest.run "bztree"
+    [
+      ( "kv contract",
+        [
+          case "empty search" test_empty_search;
+          case "insert/search" test_insert_search;
+          case "update returns old" test_update_returns_old;
+          case "remove" test_remove;
+        ] );
+      ( "structure",
+        [
+          case "splits + sorted leaves" test_splits_and_sorted_leaves;
+          case "deep tree" test_deep_tree;
+        ] );
+      ( "concurrency",
+        [
+          case "disjoint inserts" test_concurrent_disjoint_inserts;
+          case "updates last-wins" test_concurrent_updates_last_wins;
+          case "insert during split" test_insert_during_split_not_lost;
+        ] );
+      ( "recovery",
+        [
+          case "acked survive crash" test_crash_recovery_keeps_acked;
+          case "usable after crash" test_usable_after_crash;
+        ] );
+    ]

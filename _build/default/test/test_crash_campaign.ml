@@ -1,0 +1,71 @@
+(* End-to-end crash campaigns with strict-linearizability analysis — the
+   reproduction of Chapter 6's correctness methodology, run over all three
+   structures. Each trial: preload, upsert-heavy workload over a small
+   keyspace, crash at a randomized point, reconnect + recover, re-touch
+   every key, then analyze the full cross-crash history. *)
+
+open Testsupport
+
+let fast_sys =
+  {
+    Harness.Kv.default_sys with
+    latency = Pmem.Latency.uniform;
+    pool_words = 1 lsl 20;
+    max_threads = 16;
+  }
+
+let campaign name make ~trials =
+  let violations =
+    Harness.Crash_test.campaign ~make ~threads:4 ~keyspace:120
+      ~ops_per_thread:100 ~crash_events:20_000 ~seed:1234 ~trials ()
+  in
+  List.iter
+    (fun (trial, v) ->
+      Fmt.epr "%s trial %d: %a@." name trial Lincheck.Checker.pp_violation v)
+    violations;
+  check_int (name ^ ": no strict-linearizability violations") 0
+    (List.length violations)
+
+let test_upskiplist_campaign () =
+  campaign "UPSkipList" (fun () -> Harness.Kv.make_upskiplist fast_sys) ~trials:6
+
+let test_upskiplist_optane_campaign () =
+  (* realistic latency model changes interleavings and crash surfaces *)
+  let sys = { fast_sys with latency = Pmem.Latency.default } in
+  campaign "UPSkipList/optane" (fun () -> Harness.Kv.make_upskiplist sys) ~trials:3
+
+let test_upskiplist_eviction_campaign () =
+  (* random line evictions at crash time (more persisted states) *)
+  let sys = { fast_sys with eviction_probability = 0.5 } in
+  campaign "UPSkipList/evict" (fun () -> Harness.Kv.make_upskiplist sys) ~trials:3
+
+let test_upskiplist_small_nodes_campaign () =
+  let cfg = { Upskiplist.Config.default with keys_per_node = 4 } in
+  campaign "UPSkipList/K4" (fun () -> Harness.Kv.make_upskiplist ~cfg fast_sys) ~trials:3
+
+let test_bztree_campaign () =
+  campaign "BzTree"
+    (fun () -> Harness.Kv.make_bztree ~n_descriptors:16_384 fast_sys)
+    ~trials:4
+
+let test_pmdk_campaign () =
+  campaign "PMDK list" (fun () -> Harness.Kv.make_pmdk_list fast_sys) ~trials:4
+
+let test_striped_campaign () =
+  let sys = { fast_sys with mode = Pmem.Striped } in
+  campaign "UPSkipList/striped" (fun () -> Harness.Kv.make_upskiplist sys) ~trials:3
+
+let () =
+  Alcotest.run "crash_campaign"
+    [
+      ( "campaigns",
+        [
+          slow_case "upskiplist x6" test_upskiplist_campaign;
+          slow_case "upskiplist optane x3" test_upskiplist_optane_campaign;
+          slow_case "upskiplist eviction x3" test_upskiplist_eviction_campaign;
+          slow_case "upskiplist K=4 x3" test_upskiplist_small_nodes_campaign;
+          slow_case "bztree x4" test_bztree_campaign;
+          slow_case "pmdk x4" test_pmdk_campaign;
+          slow_case "upskiplist striped x3" test_striped_campaign;
+        ] );
+    ]

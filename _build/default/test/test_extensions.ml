@@ -1,0 +1,441 @@
+(* Tests for the paper's follow-up features implemented as extensions:
+   sorted node splits with binary-searched prefixes (Ch. 7), and physical
+   removal of all-tombstone nodes with epoch-based reclamation (§4.6). *)
+
+open Testsupport
+module SL = Upskiplist.Skiplist
+module Config = Upskiplist.Config
+module Mem = Memory.Mem
+module Block_alloc = Memory.Block_alloc
+
+let opt_int = Alcotest.(option int)
+
+let sorted_cfg = { Config.default with sorted_splits = true; keys_per_node = 8 }
+
+let reclaim_cfg =
+  { Config.default with reclaim_empty_nodes = true; keys_per_node = 4 }
+
+(* ---- sorted splits --------------------------------------------------------- *)
+
+let test_sorted_equivalent_results () =
+  (* the optimisation must not change observable behaviour *)
+  let run cfg =
+    let fx = make_skiplist ~cfg ~seed:3 () in
+    run1 fx.pmem (fun ~tid ->
+        let rng = Sim.Rng.create 17 in
+        for _ = 1 to 600 do
+          let k = 1 + Sim.Rng.int rng 200 in
+          match Sim.Rng.int rng 3 with
+          | 0 -> ignore (SL.remove fx.sl ~tid k)
+          | 1 -> ignore (SL.search fx.sl ~tid k)
+          | _ -> ignore (SL.upsert fx.sl ~tid k (1 + Sim.Rng.int rng 10_000))
+        done);
+    SL.to_alist fx.sl
+  in
+  check_pairs "same final state"
+    (run { sorted_cfg with sorted_splits = false })
+    (run sorted_cfg)
+
+let test_sorted_prefix_recorded () =
+  let fx = make_skiplist ~cfg:sorted_cfg () in
+  run1 fx.pmem (fun ~tid ->
+      for k = 1 to 64 do
+        ignore (SL.upsert fx.sl ~tid k k)
+      done);
+  (* at least one split happened; some node must carry a sorted prefix *)
+  let mem = SL.mem fx.sl in
+  let ly = Upskiplist.Node.layout sorted_cfg in
+  let rec walk n found =
+    if Memory.Riv.equal n (SL.tail fx.sl) then found
+    else begin
+      let sorted = Mem.peek_field mem n Upskiplist.Node.o_sorted in
+      let found = found || sorted > 1 in
+      (* prefix really is ascending and null-free *)
+      for i = 0 to sorted - 2 do
+        let a = Mem.peek_field mem n (Upskiplist.Node.o_keys + i) in
+        let b = Mem.peek_field mem n (Upskiplist.Node.o_keys + i + 1) in
+        check_bool "prefix ascending" true (a < b && a <> 0 && b <> 0)
+      done;
+      walk
+        (Memory.Riv.of_word
+           (Upskiplist.Node.unmark (Mem.peek_field mem n (ly.Upskiplist.Node.o_next + 0))))
+        found
+    end
+  in
+  let first =
+    Memory.Riv.of_word
+      (Mem.peek_field mem (SL.head fx.sl) (ly.Upskiplist.Node.o_next + 0))
+  in
+  check_bool "some sorted prefix exists" true (walk first false);
+  check_no_invariant_errors fx.sl
+
+let test_sorted_concurrent () =
+  let fx = make_skiplist ~cfg:sorted_cfg () in
+  let threads = 6 and per = 100 in
+  let body ~tid =
+    for i = 0 to per - 1 do
+      let k = 1 + (i * threads) + tid in
+      ignore (SL.upsert fx.sl ~tid k (k * 3))
+    done;
+    for i = 0 to per - 1 do
+      let k = 1 + (i * threads) + tid in
+      Alcotest.check opt_int "found" (Some (k * 3)) (SL.search fx.sl ~tid k)
+    done
+  in
+  ignore (run fx.pmem (List.init threads (fun _ -> body)));
+  check_int "all present" (threads * per) (List.length (SL.to_alist fx.sl));
+  check_no_invariant_errors fx.sl
+
+let test_sorted_crash_recovery () =
+  let fx = make_skiplist ~cfg:sorted_cfg () in
+  let acked = Array.make 4 [] in
+  let body ~tid =
+    for i = 0 to 299 do
+      let k = 1 + (i * 4) + tid in
+      ignore (SL.upsert fx.sl ~tid k (k * 2));
+      acked.(tid) <- k :: acked.(tid)
+    done
+  in
+  ignore (run_crash fx.pmem ~events:40_000 (List.init 4 (fun _ -> body)));
+  Pmem.crash fx.pmem;
+  Mem.reconnect fx.mem;
+  run1 fx.pmem (fun ~tid ->
+      Array.iter
+        (List.iter (fun k ->
+             Alcotest.check opt_int "acked survives (sorted)" (Some (k * 2))
+               (SL.search fx.sl ~tid k)))
+        acked)
+
+(* ---- physical removal + reclamation ---------------------------------------- *)
+
+let total_blocks mem = Mem.chunks_allocated mem * Mem.blocks_per_chunk mem
+
+let free_blocks mem =
+  let acc = ref 0 in
+  for pool = 0 to Mem.n_pools mem - 1 do
+    for arena = 0 to mem.Mem.n_arenas - 1 do
+      acc := !acc + Block_alloc.free_list_length mem ~pool ~arena
+    done
+  done;
+  !acc
+
+let test_retire_frees_node () =
+  let fx = make_skiplist ~cfg:reclaim_cfg () in
+  run1 fx.pmem (fun ~tid ->
+      for k = 1 to 40 do
+        ignore (SL.upsert fx.sl ~tid k k)
+      done);
+  let nodes_before = SL.node_count fx.sl in
+  check_bool "several nodes" true (nodes_before >= 5);
+  run1 fx.pmem (fun ~tid ->
+      for k = 1 to 40 do
+        ignore (SL.remove fx.sl ~tid k)
+      done;
+      SL.quiesced_drain fx.sl ~tid);
+  check_int "all nodes retired and snipped" 0 (SL.node_count fx.sl);
+  check_pairs "set empty" [] (SL.to_alist fx.sl);
+  (* every block is back in the free list *)
+  check_int "blocks conserved" (total_blocks fx.mem) (free_blocks fx.mem);
+  match SL.reclaim_stats fx.sl with
+  | Some (pending, freed, retirements) ->
+      check_int "nothing pending" 0 pending;
+      check_int "freed = retired" retirements freed;
+      check_bool "retirements happened" true (retirements >= nodes_before - 1)
+  | None -> Alcotest.fail "reclaim stats expected"
+
+let test_search_after_retirement () =
+  let fx = make_skiplist ~cfg:reclaim_cfg () in
+  run1 fx.pmem (fun ~tid ->
+      for k = 1 to 30 do
+        ignore (SL.upsert fx.sl ~tid k k)
+      done;
+      for k = 1 to 30 do
+        ignore (SL.remove fx.sl ~tid k)
+      done;
+      for k = 1 to 30 do
+        Alcotest.check opt_int "gone" None (SL.search fx.sl ~tid k)
+      done;
+      Alcotest.check opt_int "remove absent" None (SL.remove fx.sl ~tid 5))
+
+let test_reinsert_after_retirement () =
+  let fx = make_skiplist ~cfg:reclaim_cfg () in
+  run1 fx.pmem (fun ~tid ->
+      for k = 1 to 20 do
+        ignore (SL.upsert fx.sl ~tid k k)
+      done;
+      for k = 1 to 20 do
+        ignore (SL.remove fx.sl ~tid k)
+      done;
+      for k = 1 to 20 do
+        Alcotest.check opt_int "fresh insert" None (SL.upsert fx.sl ~tid k (k + 100))
+      done;
+      for k = 1 to 20 do
+        Alcotest.check opt_int "found again" (Some (k + 100)) (SL.search fx.sl ~tid k)
+      done);
+  check_no_invariant_errors fx.sl
+
+let test_blocks_reused_after_reclaim () =
+  let fx = make_skiplist ~cfg:reclaim_cfg () in
+  run1 fx.pmem (fun ~tid ->
+      (* fill, clear, drain, fill again: chunk count must not keep growing *)
+      for round = 0 to 3 do
+        for k = 1 to 64 do
+          ignore (SL.upsert fx.sl ~tid (k + (round * 64)) k)
+        done;
+        for k = 1 to 64 do
+          ignore (SL.remove fx.sl ~tid (k + (round * 64)))
+        done;
+        SL.quiesced_drain fx.sl ~tid
+      done);
+  check_bool "chunks bounded by reuse" true (Mem.chunks_allocated fx.mem <= 16)
+
+let test_concurrent_remove_insert_reclaim () =
+  let fx = make_skiplist ~cfg:reclaim_cfg () in
+  let threads = 6 in
+  let body ~tid =
+    let rng = Sim.Rng.create (50 + tid) in
+    for _ = 1 to 200 do
+      let k = 1 + Sim.Rng.int rng 60 in
+      if Sim.Rng.bool rng then ignore (SL.upsert fx.sl ~tid k ((tid * 1000) + k))
+      else ignore (SL.remove fx.sl ~tid k)
+    done
+  in
+  ignore (run fx.pmem (List.init threads (fun _ -> body)));
+  (* values intact: every surviving pair was written by some thread *)
+  List.iter
+    (fun (k, v) -> check_int "uncorrupted value" k (v mod 1000))
+    (SL.to_alist fx.sl);
+  check_no_invariant_errors fx.sl
+
+let test_readers_survive_concurrent_retirement () =
+  let fx = make_skiplist ~cfg:reclaim_cfg () in
+  run1 fx.pmem (fun ~tid ->
+      for k = 1 to 100 do
+        ignore (SL.upsert fx.sl ~tid k k)
+      done);
+  let remover ~tid =
+    for k = 1 to 100 do
+      ignore (SL.remove fx.sl ~tid k)
+    done
+  in
+  let reader ~tid =
+    for _ = 1 to 3 do
+      for k = 1 to 100 do
+        match SL.search fx.sl ~tid k with
+        | None -> ()
+        | Some v -> check_int "reader never sees garbage" k v
+      done
+    done
+  in
+  let scanner ~tid =
+    for _ = 1 to 5 do
+      List.iter
+        (fun (k, v) -> check_int "range never sees garbage" k v)
+        (SL.range fx.sl ~tid ~lo:1 ~hi:100)
+    done
+  in
+  ignore (run fx.pmem [ remover; reader; reader; scanner ]);
+  check_no_invariant_errors fx.sl
+
+let test_crash_during_retirement () =
+  (* crash somewhere inside a mass removal: acked removes must stay
+     removed; the structure stays usable; invariants restorable *)
+  let fx = make_skiplist ~cfg:reclaim_cfg () in
+  run1 fx.pmem (fun ~tid ->
+      for k = 1 to 200 do
+        ignore (SL.upsert fx.sl ~tid k k)
+      done);
+  let acked = Array.make 4 [] in
+  let body ~tid =
+    for i = 0 to 49 do
+      let k = 1 + (i * 4) + tid in
+      ignore (SL.remove fx.sl ~tid k);
+      acked.(tid) <- k :: acked.(tid)
+    done
+  in
+  ignore (run_crash fx.pmem ~events:20_000 (List.init 4 (fun _ -> body)));
+  Pmem.crash fx.pmem;
+  Mem.reconnect fx.mem;
+  run1 fx.pmem (fun ~tid ->
+      Array.iter
+        (List.iter (fun k ->
+             Alcotest.check opt_int "acked remove survives crash" None
+               (SL.search fx.sl ~tid k)))
+        acked;
+      (* keys above 200 never existed; keys never removed must remain *)
+      for k = 201 to 210 do
+        Alcotest.check opt_int "absent stays absent" None (SL.search fx.sl ~tid k)
+      done;
+      (* structure still accepts writes *)
+      for k = 500 to 540 do
+        ignore (SL.upsert fx.sl ~tid k k)
+      done;
+      for k = 500 to 540 do
+        Alcotest.check opt_int "post-crash inserts" (Some k) (SL.search fx.sl ~tid k)
+      done)
+
+let test_reclaim_lincheck_campaign () =
+  let sys =
+    {
+      Harness.Kv.default_sys with
+      latency = Pmem.Latency.uniform;
+      pool_words = 1 lsl 20;
+      max_threads = 16;
+    }
+  in
+  let make () =
+    Harness.Kv.make_upskiplist
+      ~cfg:{ Config.default with reclaim_empty_nodes = true; keys_per_node = 4 }
+      sys
+  in
+  let violations =
+    Harness.Crash_test.campaign ~make ~threads:4 ~keyspace:80 ~ops_per_thread:100
+      ~crash_events:15_000 ~seed:4242 ~trials:3 ()
+  in
+  List.iter
+    (fun (i, v) -> Fmt.epr "reclaim trial %d: %a@." i Lincheck.Checker.pp_violation v)
+    violations;
+  check_int "strictly linearizable with reclamation" 0 (List.length violations)
+
+let test_sorted_lincheck_campaign () =
+  let sys =
+    {
+      Harness.Kv.default_sys with
+      latency = Pmem.Latency.uniform;
+      pool_words = 1 lsl 20;
+      max_threads = 16;
+    }
+  in
+  let make () =
+    Harness.Kv.make_upskiplist
+      ~cfg:{ Config.default with sorted_splits = true; keys_per_node = 8 }
+      sys
+  in
+  let violations =
+    Harness.Crash_test.campaign ~make ~threads:4 ~keyspace:120 ~ops_per_thread:100
+      ~crash_events:15_000 ~seed:777 ~trials:3 ()
+  in
+  check_int "strictly linearizable with sorted splits" 0 (List.length violations)
+
+(* model check with both features on *)
+let prop_model_with_extensions =
+  let module M = Map.Make (Int) in
+  qcase ~count:25 "model equivalence, both extensions (qcheck)"
+    QCheck.(
+      list_of_size (QCheck.Gen.int_range 10 150)
+        (pair (int_range 1 50) (int_range 0 3)))
+    (fun ops ->
+      let cfg =
+        {
+          Config.default with
+          keys_per_node = 4;
+          sorted_splits = true;
+          reclaim_empty_nodes = true;
+        }
+      in
+      let fx = make_skiplist ~cfg () in
+      let ok = ref true in
+      run1 fx.pmem (fun ~tid ->
+          let model = ref M.empty in
+          List.iter
+            (fun (k, action) ->
+              match action with
+              | 0 ->
+                  if SL.remove fx.sl ~tid k <> M.find_opt k !model then ok := false;
+                  model := M.remove k !model
+              | 1 ->
+                  if SL.search fx.sl ~tid k <> M.find_opt k !model then ok := false
+              | _ ->
+                  let v = k + 1000 in
+                  if SL.upsert fx.sl ~tid k v <> M.find_opt k !model then
+                    ok := false;
+                  model := M.add k v !model)
+            ops;
+          if SL.to_alist fx.sl <> M.bindings !model then ok := false);
+      !ok)
+
+(* ---- EBR unit behaviour ----------------------------------------------------- *)
+
+let test_ebr_grace_period () =
+  let freed = ref [] in
+  let r =
+    Upskiplist.Reclaim.create ~collect_every:1 ~max_threads:4
+      ~free:(fun ~tid:_ node -> freed := Memory.Riv.to_word node :: !freed)
+      ()
+  in
+  let node i = Memory.Riv.make ~pool:0 ~chunk:1 ~offset:(i * 8) in
+  (* tid 1 is mid-operation: nothing retired while it is active may be freed *)
+  Upskiplist.Reclaim.enter r ~tid:1;
+  Upskiplist.Reclaim.enter r ~tid:0;
+  Upskiplist.Reclaim.retire r ~tid:0 (node 1);
+  Upskiplist.Reclaim.retire r ~tid:0 (node 2);
+  check_int "blocked by active reader" 0 (List.length !freed);
+  check_int "pending" 2 (Upskiplist.Reclaim.pending r);
+  (* reader leaves; next retirement advances the epoch and collects *)
+  Upskiplist.Reclaim.exit r ~tid:1;
+  Upskiplist.Reclaim.exit r ~tid:0;
+  Upskiplist.Reclaim.enter r ~tid:0;
+  Upskiplist.Reclaim.retire r ~tid:0 (node 3);
+  check_bool "old retirements freed" true (List.length !freed >= 2);
+  Upskiplist.Reclaim.exit r ~tid:0
+
+let test_ebr_drain () =
+  let freed = ref 0 in
+  let r =
+    Upskiplist.Reclaim.create ~collect_every:1000 ~max_threads:4
+      ~free:(fun ~tid:_ _ -> incr freed)
+      ()
+  in
+  let node i = Memory.Riv.make ~pool:0 ~chunk:1 ~offset:(i * 8) in
+  for tid = 0 to 3 do
+    Upskiplist.Reclaim.retire r ~tid (node tid)
+  done;
+  check_int "four pending" 4 (Upskiplist.Reclaim.pending r);
+  Upskiplist.Reclaim.drain r ~tid:0;
+  check_int "all freed" 4 !freed;
+  check_int "none pending" 0 (Upskiplist.Reclaim.pending r);
+  check_int "freed counter" 4 (Upskiplist.Reclaim.freed r)
+
+let test_ebr_own_epoch_not_freed_midop () =
+  let freed = ref 0 in
+  let r =
+    Upskiplist.Reclaim.create ~collect_every:1 ~max_threads:2
+      ~free:(fun ~tid:_ _ -> incr freed)
+      ()
+  in
+  Upskiplist.Reclaim.enter r ~tid:0;
+  Upskiplist.Reclaim.retire r ~tid:0 (Memory.Riv.make ~pool:0 ~chunk:1 ~offset:0);
+  (* our own announcement pins the epoch: retirement from this epoch stays *)
+  check_int "own op blocks its own retirement" 0 !freed;
+  Upskiplist.Reclaim.exit r ~tid:0
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "sorted splits",
+        [
+          case "equivalent results" test_sorted_equivalent_results;
+          case "sorted prefix recorded" test_sorted_prefix_recorded;
+          case "concurrent" test_sorted_concurrent;
+          case "crash recovery" test_sorted_crash_recovery;
+          slow_case "lincheck campaign" test_sorted_lincheck_campaign;
+        ] );
+      ( "reclamation",
+        [
+          case "retire frees node" test_retire_frees_node;
+          case "search after retirement" test_search_after_retirement;
+          case "reinsert after retirement" test_reinsert_after_retirement;
+          case "blocks reused" test_blocks_reused_after_reclaim;
+          case "concurrent remove/insert" test_concurrent_remove_insert_reclaim;
+          case "readers survive retirement" test_readers_survive_concurrent_retirement;
+          case "crash during retirement" test_crash_during_retirement;
+          slow_case "lincheck campaign" test_reclaim_lincheck_campaign;
+        ] );
+      ( "ebr",
+        [
+          case "grace period" test_ebr_grace_period;
+          case "drain" test_ebr_drain;
+          case "own epoch pins" test_ebr_own_epoch_not_freed_midop;
+        ] );
+      ("model", [ prop_model_with_extensions ]);
+    ]

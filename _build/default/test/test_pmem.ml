@@ -1,0 +1,273 @@
+(* Unit tests for the persistent-memory model: volatile vs persistent
+   images, flush/fence semantics, crash behaviour, NUMA mapping and the
+   latency/bandwidth accounting. *)
+
+open Testsupport
+
+let addr0 w = Pmem.addr ~pool:0 ~word:w
+
+(* ---- addressing ---------------------------------------------------------- *)
+
+let test_addr_roundtrip () =
+  let a = Pmem.addr ~pool:3 ~word:123456 in
+  check_int "pool" 3 (Pmem.pool_of a);
+  check_int "word" 123456 (Pmem.word_of a)
+
+let test_addr_zero () =
+  let a = Pmem.addr ~pool:0 ~word:0 in
+  check_int "pool" 0 (Pmem.pool_of a);
+  check_int "word" 0 (Pmem.word_of a)
+
+(* ---- persistence semantics ----------------------------------------------- *)
+
+let test_unflushed_write_lost_on_crash () =
+  let pmem = fast_pmem () in
+  run1 pmem (fun ~tid:_ -> Sim.Sched.write (addr0 64) 99);
+  check_int "volatile sees write" 99 (Pmem.peek pmem (addr0 64));
+  Pmem.crash pmem;
+  check_int "unflushed write lost" 0 (Pmem.peek pmem (addr0 64))
+
+let test_flushed_write_survives_crash () =
+  let pmem = fast_pmem () in
+  run1 pmem (fun ~tid:_ ->
+      Sim.Sched.write (addr0 64) 99;
+      Sim.Sched.flush (addr0 64);
+      Sim.Sched.fence ());
+  Pmem.crash pmem;
+  check_int "flushed write survives" 99 (Pmem.peek pmem (addr0 64))
+
+let test_flush_covers_whole_line () =
+  let pmem = fast_pmem () in
+  run1 pmem (fun ~tid:_ ->
+      (* words 64..71 share a line *)
+      Sim.Sched.write (addr0 64) 1;
+      Sim.Sched.write (addr0 71) 2;
+      Sim.Sched.flush (addr0 67);
+      Sim.Sched.fence ());
+  Pmem.crash pmem;
+  check_int "first word of line persisted" 1 (Pmem.peek pmem (addr0 64));
+  check_int "last word of line persisted" 2 (Pmem.peek pmem (addr0 71))
+
+let test_flush_does_not_cover_next_line () =
+  let pmem = fast_pmem () in
+  run1 pmem (fun ~tid:_ ->
+      Sim.Sched.write (addr0 64) 1;
+      Sim.Sched.write (addr0 72) 2;
+      (* next line *)
+      Sim.Sched.flush (addr0 64);
+      Sim.Sched.fence ());
+  Pmem.crash pmem;
+  check_int "flushed line persisted" 1 (Pmem.peek pmem (addr0 64));
+  check_int "other line lost" 0 (Pmem.peek pmem (addr0 72))
+
+let test_cas_is_a_store_for_persistence () =
+  let pmem = fast_pmem () in
+  run1 pmem (fun ~tid:_ ->
+      ignore (Sim.Sched.cas (addr0 64) ~expected:0 ~desired:7));
+  Pmem.crash pmem;
+  check_int "unflushed CAS lost" 0 (Pmem.peek pmem (addr0 64))
+
+let test_rewrite_after_flush_needs_new_flush () =
+  let pmem = fast_pmem () in
+  run1 pmem (fun ~tid:_ ->
+      Sim.Sched.write (addr0 64) 1;
+      Sim.Sched.flush (addr0 64);
+      Sim.Sched.fence ();
+      Sim.Sched.write (addr0 64) 2);
+  Pmem.crash pmem;
+  check_int "old flushed value restored" 1 (Pmem.peek pmem (addr0 64))
+
+let test_clean_shutdown_persists_everything () =
+  let pmem = fast_pmem () in
+  run1 pmem (fun ~tid:_ ->
+      Sim.Sched.write (addr0 64) 5;
+      Sim.Sched.write (addr0 128) 6);
+  Pmem.clean_shutdown pmem;
+  Pmem.crash pmem;
+  check_int "word 64" 5 (Pmem.peek pmem (addr0 64));
+  check_int "word 128" 6 (Pmem.peek pmem (addr0 128))
+
+let test_crash_restores_volatile_from_persistent () =
+  let pmem = fast_pmem () in
+  Pmem.poke pmem (addr0 80) 11;
+  run1 pmem (fun ~tid:_ -> Sim.Sched.write (addr0 80) 22);
+  check_int "volatile updated" 22 (Pmem.peek pmem (addr0 80));
+  Pmem.crash pmem;
+  check_int "volatile rebuilt from persistent" 11 (Pmem.peek pmem (addr0 80))
+
+let test_random_eviction_can_persist_dirty_lines () =
+  (* with eviction probability 1.0 every dirty line persists at crash *)
+  let pmem = fast_pmem ~eviction_probability:1.0 () in
+  run1 pmem (fun ~tid:_ -> Sim.Sched.write (addr0 64) 3);
+  Pmem.crash pmem;
+  check_int "evicted line persisted" 3 (Pmem.peek pmem (addr0 64))
+
+let test_crash_count () =
+  let pmem = fast_pmem () in
+  check_int "initial" 0 (Pmem.crash_count pmem);
+  Pmem.crash pmem;
+  Pmem.crash pmem;
+  check_int "two crashes" 2 (Pmem.crash_count pmem)
+
+let test_poke_writes_through () =
+  let pmem = fast_pmem () in
+  Pmem.poke pmem (addr0 96) 77;
+  Pmem.crash pmem;
+  check_int "poke persisted" 77 (Pmem.peek pmem (addr0 96));
+  check_int "peek_persistent" 77 (Pmem.peek_persistent pmem (addr0 96))
+
+(* ---- NUMA ------------------------------------------------------------------ *)
+
+let test_multi_pool_home_nodes () =
+  let pmem = fast_pmem ~mode:Pmem.Multi_pool () in
+  for pool = 0 to 3 do
+    check_int
+      (Printf.sprintf "pool %d home" pool)
+      pool
+      (Pmem.home_node pmem (Pmem.addr ~pool ~word:100))
+  done
+
+let test_striped_home_nodes () =
+  let pmem = fast_pmem ~mode:Pmem.Striped ~n_pools:1 () in
+  (* stripe_words = 4096 in the fast fixture *)
+  check_int "first stripe" 0 (Pmem.home_node pmem (addr0 0));
+  check_int "second stripe" 1 (Pmem.home_node pmem (addr0 4096));
+  check_int "third stripe" 2 (Pmem.home_node pmem (addr0 8192));
+  check_int "wraps" 0 (Pmem.home_node pmem (addr0 16384))
+
+let test_thread_node_round_robin () =
+  let pmem = fast_pmem () in
+  check_int "tid 0" 0 (Pmem.thread_node pmem 0);
+  check_int "tid 5" 1 (Pmem.thread_node pmem 5);
+  check_int "tid 7" 3 (Pmem.thread_node pmem 7)
+
+(* ---- latency accounting ----------------------------------------------------- *)
+
+let optane_pmem () =
+  Pmem.create
+    {
+      Pmem.default_config with
+      latency = { Pmem.Latency.default with jitter = 0.0 };
+      n_pools = 4;
+      pool_words = 1 lsl 16;
+    }
+
+let test_read_miss_slower_than_hit () =
+  let pmem = optane_pmem () in
+  let t_first = ref 0.0 and t_second = ref 0.0 in
+  run1 pmem (fun ~tid:_ ->
+      let t0 = Sim.Sched.now () in
+      ignore (Sim.Sched.read (addr0 64));
+      let t1 = Sim.Sched.now () in
+      ignore (Sim.Sched.read (addr0 64));
+      let t2 = Sim.Sched.now () in
+      t_first := t1 -. t0;
+      t_second := t2 -. t1);
+  check_bool "miss costs pmem latency" true (!t_first >= 300.0);
+  check_bool "hit is cheap" true (!t_second < 10.0)
+
+let test_dirty_flush_costs_write_latency () =
+  let pmem = optane_pmem () in
+  let t_dirty = ref 0.0 and t_clean = ref 0.0 in
+  run1 pmem (fun ~tid:_ ->
+      Sim.Sched.write (addr0 64) 1;
+      let t0 = Sim.Sched.now () in
+      Sim.Sched.flush (addr0 64);
+      let t1 = Sim.Sched.now () in
+      Sim.Sched.flush (addr0 64);
+      let t2 = Sim.Sched.now () in
+      t_dirty := t1 -. t0;
+      t_clean := t2 -. t1);
+  check_bool "dirty flush >= persist latency" true (!t_dirty >= 90.0);
+  check_bool "clean flush cheap" true (!t_clean < 10.0)
+
+let test_write_bandwidth_queueing () =
+  (* many concurrent flushers must see growing flush latency *)
+  let pmem = optane_pmem () in
+  let flush_time tid_count =
+    Pmem.reset_counters pmem;
+    let total = ref 0.0 in
+    let body ~tid =
+      for i = 0 to 19 do
+        let a = Pmem.addr ~pool:0 ~word:((tid * 4096) + (i * 8) + 2048) in
+        Sim.Sched.write a 1;
+        let t0 = Sim.Sched.now () in
+        Sim.Sched.flush a;
+        total := !total +. (Sim.Sched.now () -. t0)
+      done
+    in
+    ignore (run pmem (List.init tid_count (fun _ -> body)));
+    !total /. float_of_int (tid_count * 20)
+  in
+  let lat1 = flush_time 1 in
+  let lat16 = flush_time 16 in
+  check_bool "controller saturates under concurrency" true (lat16 > 2.0 *. lat1)
+
+let test_remote_access_penalty () =
+  let pmem = optane_pmem () in
+  (* tid 0 is on node 0; pool 1 lives on node 1 *)
+  let t_local = ref 0.0 and t_remote = ref 0.0 in
+  run1 pmem (fun ~tid:_ ->
+      let local = Pmem.addr ~pool:0 ~word:512 in
+      let remote = Pmem.addr ~pool:1 ~word:512 in
+      let t0 = Sim.Sched.now () in
+      ignore (Sim.Sched.read local);
+      let t1 = Sim.Sched.now () in
+      ignore (Sim.Sched.read remote);
+      let t2 = Sim.Sched.now () in
+      t_local := t1 -. t0;
+      t_remote := t2 -. t1);
+  check_bool "remote read slower" true (!t_remote > 1.5 *. !t_local)
+
+let test_counters () =
+  let pmem = fast_pmem () in
+  run1 pmem (fun ~tid:_ ->
+      ignore (Sim.Sched.read (addr0 64));
+      Sim.Sched.write (addr0 64) 1;
+      ignore (Sim.Sched.cas (addr0 64) ~expected:1 ~desired:2);
+      ignore (Sim.Sched.cas (addr0 64) ~expected:1 ~desired:3);
+      Sim.Sched.flush (addr0 64);
+      Sim.Sched.fence ());
+  let c = Pmem.counters pmem in
+  check_int "loads" 1 c.Pmem.loads;
+  check_int "stores" 1 c.Pmem.stores;
+  check_int "cas ops" 2 c.Pmem.cas_ops;
+  check_int "cas failures" 1 c.Pmem.cas_failures;
+  check_int "flushes" 1 c.Pmem.flushes;
+  check_int "dirty flushes" 1 c.Pmem.dirty_flushes;
+  check_int "fences" 1 c.Pmem.fences
+
+let () =
+  Alcotest.run "pmem"
+    [
+      ( "addressing",
+        [ case "roundtrip" test_addr_roundtrip; case "zero" test_addr_zero ] );
+      ( "persistence",
+        [
+          case "unflushed write lost" test_unflushed_write_lost_on_crash;
+          case "flushed write survives" test_flushed_write_survives_crash;
+          case "flush covers whole line" test_flush_covers_whole_line;
+          case "flush scoped to line" test_flush_does_not_cover_next_line;
+          case "CAS persistence" test_cas_is_a_store_for_persistence;
+          case "rewrite needs new flush" test_rewrite_after_flush_needs_new_flush;
+          case "clean shutdown" test_clean_shutdown_persists_everything;
+          case "crash restores volatile" test_crash_restores_volatile_from_persistent;
+          case "random eviction" test_random_eviction_can_persist_dirty_lines;
+          case "crash count" test_crash_count;
+          case "poke write-through" test_poke_writes_through;
+        ] );
+      ( "numa",
+        [
+          case "multi-pool homes" test_multi_pool_home_nodes;
+          case "striped homes" test_striped_home_nodes;
+          case "thread round-robin" test_thread_node_round_robin;
+        ] );
+      ( "latency",
+        [
+          case "read miss vs hit" test_read_miss_slower_than_hit;
+          case "dirty flush cost" test_dirty_flush_costs_write_latency;
+          case "bandwidth queueing" test_write_bandwidth_queueing;
+          case "remote penalty" test_remote_access_penalty;
+          case "counters" test_counters;
+        ] );
+    ]

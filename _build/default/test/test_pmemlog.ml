@@ -1,0 +1,180 @@
+(* Tests for the libpmemlog substitute: append atomicity across crashes,
+   ordering, concurrency, capacity, and its intended use — recording an
+   operation history that survives a power failure (thesis §6.1.1). *)
+
+open Testsupport
+module Mem = Memory.Mem
+module Pmemlog = Pmdk.Pmemlog
+
+type fx = { pmem : Pmem.t; mem : Mem.t; log : Pmemlog.t }
+
+let make_fx ?(words = 4096) () =
+  let pmem = fast_pmem () in
+  let mem = make_mem ~block_words:8 ~blocks_per_chunk:16 pmem in
+  let log = Pmemlog.create_poked ~mem ~pool:0 ~words in
+  { pmem; mem; log }
+
+let arrays = Alcotest.(list (array int))
+
+let test_append_read_roundtrip () =
+  let fx = make_fx () in
+  let entries = [ [| 1; 2; 3 |]; [| 42 |]; [||]; [| 7; 8 |] ] in
+  run1 fx.pmem (fun ~tid:_ ->
+      List.iter (Pmemlog.append fx.log) entries;
+      Alcotest.check arrays "roundtrip in order" entries (Pmemlog.read_all fx.log))
+
+let test_committed_survive_crash () =
+  let fx = make_fx () in
+  run1 fx.pmem (fun ~tid:_ ->
+      Pmemlog.append fx.log [| 10; 11 |];
+      Pmemlog.append fx.log [| 20 |]);
+  Pmem.crash fx.pmem;
+  Alcotest.check arrays "committed entries durable"
+    [ [| 10; 11 |]; [| 20 |] ]
+    (Pmemlog.peek_all_persistent fx.log)
+
+let test_torn_tail_invisible () =
+  let fx = make_fx () in
+  (* crash at every point inside the second append: recovered log must hold
+     either one or two entries, never a torn one *)
+  for crash_at = 1 to 40 do
+    let fx = make_fx () in
+    ignore
+      (Sim.Sched.run
+         ~crash:(Sim.Sched.After_events crash_at)
+         ~machine:(Pmem.machine fx.pmem)
+         [
+           ( 0,
+             fun ~tid:_ ->
+               Pmemlog.append fx.log [| 1; 1; 1 |];
+               Pmemlog.append fx.log [| 2; 2; 2 |];
+               (* idle tail so the crash lands inside the appends *)
+               while true do
+                 Sim.Sched.yield ()
+               done );
+         ]);
+    Pmem.crash fx.pmem;
+    Pmemlog.reconnect fx.log;
+    let entries = Pmemlog.peek_all_persistent fx.log in
+    check_bool
+      (Printf.sprintf "crash@%d: prefix only (%d entries)" crash_at
+         (List.length entries))
+      true
+      (match entries with
+      | [] -> true
+      | [ [| 1; 1; 1 |] ] -> true
+      | [ [| 1; 1; 1 |]; [| 2; 2; 2 |] ] -> true
+      | _ -> false)
+  done;
+  ignore fx
+
+let test_append_after_crash_overwrites_torn_tail () =
+  let fx = make_fx () in
+  ignore
+    (Sim.Sched.run
+       ~crash:(Sim.Sched.After_events 12)
+       ~machine:(Pmem.machine fx.pmem)
+       [
+         ( 0,
+           fun ~tid:_ ->
+             Pmemlog.append fx.log [| 1 |];
+             Pmemlog.append fx.log [| 2 |];
+             while true do
+               Sim.Sched.yield ()
+             done );
+       ]);
+  Pmem.crash fx.pmem;
+  Pmemlog.reconnect fx.log;
+  run1 fx.pmem (fun ~tid:_ ->
+      Pmemlog.append fx.log [| 99 |];
+      let entries = Pmemlog.read_all fx.log in
+      check_bool "new entry follows the committed prefix" true
+        (List.rev entries |> List.hd = [| 99 |]))
+
+let test_concurrent_appends_all_present () =
+  let fx = make_fx ~words:8192 () in
+  let threads = 6 and per = 30 in
+  let body ~tid =
+    for i = 1 to per do
+      Pmemlog.append fx.log [| tid; i |]
+    done
+  in
+  ignore (run fx.pmem (List.init threads (fun _ -> body)));
+  run1 fx.pmem (fun ~tid:_ ->
+      let entries = Pmemlog.read_all fx.log in
+      check_int "all entries committed" (threads * per) (List.length entries);
+      (* per-thread order is preserved *)
+      let seen = Array.make threads 0 in
+      List.iter
+        (fun e ->
+          let tid = e.(0) and i = e.(1) in
+          check_int "per-thread FIFO" (seen.(tid) + 1) i;
+          seen.(tid) <- i)
+        entries)
+
+let test_log_full () =
+  let fx = make_fx ~words:32 () in
+  run1 fx.pmem (fun ~tid:_ ->
+      Pmemlog.append fx.log [| 1; 2; 3; 4; 5; 6 |];
+      match Pmemlog.append fx.log (Array.make 40 9) with
+      | exception Pmemlog.Log_full -> ()
+      | () -> Alcotest.fail "expected Log_full")
+
+(* The thesis's use case: record operations durably, crash, and analyze
+   what provably happened. *)
+let test_durable_operation_recording () =
+  (* a skip list and the log share the machine; block size must fit nodes *)
+  let pmem = fast_pmem () in
+  let sl_cfg = Upskiplist.Config.default in
+  let bw = Upskiplist.Skiplist.required_block_words sl_cfg in
+  let mem = make_mem ~block_words:bw ~blocks_per_chunk:32 pmem in
+  let log = Pmemlog.create_poked ~mem ~pool:0 ~words:(1 lsl 14) in
+  let fx = { pmem; mem; log } in
+  let sl =
+    Upskiplist.Skiplist.create ~mem:fx.mem ~cfg:sl_cfg ~max_threads:8 ~seed:3
+  in
+  ignore
+    (Sim.Sched.run
+       ~crash:(Sim.Sched.After_events 9_000)
+       ~machine:(Pmem.machine fx.pmem)
+       (List.init 2 (fun tid ->
+            ( tid,
+              fun ~tid ->
+                for i = 1 to 200 do
+                  let k = (i * 2) + tid + 1 in
+                  ignore (Upskiplist.Skiplist.upsert sl ~tid k (k * 5));
+                  (* completion record, appended after the ack *)
+                  Pmemlog.append fx.log [| tid; k; k * 5 |]
+                done ))));
+  Pmem.crash fx.pmem;
+  Pmemlog.reconnect fx.log;
+  Mem.reconnect fx.mem;
+  (* every operation whose completion record survived must be visible in
+     the recovered structure *)
+  let records = Pmemlog.peek_all_persistent fx.log in
+  check_bool "some records survived" true (List.length records > 10);
+  run1 fx.pmem (fun ~tid ->
+      List.iter
+        (fun r ->
+          let k = r.(1) and v = r.(2) in
+          Alcotest.check
+            Alcotest.(option int)
+            (Printf.sprintf "logged op %d visible" k)
+            (Some v)
+            (Upskiplist.Skiplist.search sl ~tid k))
+        records)
+
+let () =
+  Alcotest.run "pmemlog"
+    [
+      ( "pmemlog",
+        [
+          case "roundtrip" test_append_read_roundtrip;
+          case "committed survive crash" test_committed_survive_crash;
+          case "torn tail invisible" test_torn_tail_invisible;
+          case "append after crash" test_append_after_crash_overwrites_torn_tail;
+          case "concurrent appends" test_concurrent_appends_all_present;
+          case "log full" test_log_full;
+          case "durable operation recording" test_durable_operation_recording;
+        ] );
+    ]

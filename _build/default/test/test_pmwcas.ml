@@ -1,0 +1,222 @@
+(* Tests for the persistent multi-word CAS: atomicity, helping, the
+   dirty-bit read protocol, and descriptor-pool recovery. *)
+
+open Testsupport
+module Mem = Memory.Mem
+
+type fx = { pmem : Pmem.t; mem : Mem.t; pmw : Pmwcas.t }
+
+let make_fx ?(n_descriptors = 4096) () =
+  let pmem = fast_pmem () in
+  let mem = make_mem ~block_words:8 ~blocks_per_chunk:16 pmem in
+  let pmw = Pmwcas.create_poked ~mem ~pool:0 ~n_descriptors in
+  { pmem; mem; pmw }
+
+let word fx i =
+  let r = Mem.riv_of_root ~pool:0 ~word:(6000 + (i * Pmem.line_words)) in
+  Mem.resolve fx.mem r
+
+let test_single_word_success () =
+  let fx = make_fx () in
+  run1 fx.pmem (fun ~tid:_ ->
+      let a = word fx 0 in
+      check_bool "succeeds" true (Pmwcas.mwcas fx.pmw [| (a, 0, 42) |]);
+      check_int "new value" 42 (Pmwcas.read fx.pmw a))
+
+let test_single_word_failure () =
+  let fx = make_fx () in
+  run1 fx.pmem (fun ~tid:_ ->
+      let a = word fx 0 in
+      ignore (Pmwcas.mwcas fx.pmw [| (a, 0, 10) |]);
+      check_bool "stale expected fails" false (Pmwcas.mwcas fx.pmw [| (a, 0, 20) |]);
+      check_int "value unchanged" 10 (Pmwcas.read fx.pmw a))
+
+let test_multi_word_all_or_nothing () =
+  let fx = make_fx () in
+  run1 fx.pmem (fun ~tid:_ ->
+      let a = word fx 0 and b = word fx 1 and c = word fx 2 in
+      check_bool "3-word success" true
+        (Pmwcas.mwcas fx.pmw [| (a, 0, 1); (b, 0, 2); (c, 0, 3) |]);
+      check_int "a" 1 (Pmwcas.read fx.pmw a);
+      check_int "b" 2 (Pmwcas.read fx.pmw b);
+      check_int "c" 3 (Pmwcas.read fx.pmw c);
+      (* one stale expected value → nothing changes *)
+      check_bool "partial mismatch fails" false
+        (Pmwcas.mwcas fx.pmw [| (a, 1, 10); (b, 99, 20); (c, 3, 30) |]);
+      check_int "a unchanged" 1 (Pmwcas.read fx.pmw a);
+      check_int "b unchanged" 2 (Pmwcas.read fx.pmw b);
+      check_int "c unchanged" 3 (Pmwcas.read fx.pmw c))
+
+let test_read_clears_dirty () =
+  let fx = make_fx () in
+  run1 fx.pmem (fun ~tid:_ ->
+      let a = word fx 0 in
+      ignore (Pmwcas.mwcas fx.pmw [| (a, 0, 7) |]);
+      (* phase 3 leaves the value dirty; a raw read shows the bit, the
+         protocol read clears it *)
+      let raw = Sim.Sched.read a in
+      check_bool "dirty after mwcas" true (Pmwcas.is_dirty raw || raw = 7);
+      check_int "clean value" 7 (Pmwcas.read fx.pmw a);
+      let raw' = Sim.Sched.read a in
+      check_bool "dirty cleared" false (Pmwcas.is_dirty raw'))
+
+let test_entry_count_validation () =
+  let fx = make_fx () in
+  run1 fx.pmem (fun ~tid:_ ->
+      (match Pmwcas.mwcas fx.pmw [||] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "empty entries accepted");
+      let a = word fx 0 in
+      match
+        Pmwcas.mwcas fx.pmw [| (a, 0, 1); (a + 1, 0, 1); (a + 2, 0, 1); (a + 3, 0, 1); (a + 4, 0, 1) |]
+      with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "too many entries accepted")
+
+let test_concurrent_counter () =
+  (* concurrent 2-word mwcas increments: total must be exact *)
+  let fx = make_fx () in
+  let a = word fx 0 and b = word fx 1 in
+  let body ~tid:_ =
+    for _ = 1 to 50 do
+      let rec step () =
+        let va = Pmwcas.read fx.pmw a in
+        let vb = Pmwcas.read fx.pmw b in
+        if not (Pmwcas.mwcas fx.pmw [| (a, va, va + 1); (b, vb, vb + 1) |]) then
+          step ()
+      in
+      step ()
+    done
+  in
+  ignore (run fx.pmem [ body; body; body; body ]);
+  run1 fx.pmem (fun ~tid:_ ->
+      check_int "a count" 200 (Pmwcas.read fx.pmw a);
+      check_int "b count" 200 (Pmwcas.read fx.pmw b))
+
+let test_concurrent_disjoint_and_overlapping () =
+  let fx = make_fx () in
+  let words = Array.init 6 (word fx) in
+  let body ~tid =
+    for i = 0 to 40 do
+      let x = words.((tid + i) mod 6) and y = words.((tid + i + 1) mod 6) in
+      let rec step () =
+        let vx = Pmwcas.read fx.pmw x and vy = Pmwcas.read fx.pmw y in
+        if not (Pmwcas.mwcas fx.pmw [| (x, vx, vx + 1); (y, vy, vy + 1) |]) then
+          step ()
+      in
+      step ()
+    done
+  in
+  ignore (run fx.pmem [ body; body; body ]);
+  (* each mwcas increments exactly two words: sum = 2 * ops *)
+  run1 fx.pmem (fun ~tid:_ ->
+      let sum = Array.fold_left (fun acc w -> acc + Pmwcas.read fx.pmw w) 0 words in
+      check_int "total increments" (2 * 3 * 41) sum)
+
+(* ---- crash recovery -------------------------------------------------------- *)
+
+let test_crash_then_recover_consistent () =
+  let fx = make_fx () in
+  let a = word fx 0 and b = word fx 1 in
+  (* every operation adds the same amount to both words, so a = b is an
+     atomicity invariant that must hold across the crash *)
+  let body ~tid:_ =
+    for i = 1 to 1000 do
+      let rec step () =
+        let va = Pmwcas.read fx.pmw a and vb = Pmwcas.read fx.pmw b in
+        if
+          va <> vb
+          || not (Pmwcas.mwcas fx.pmw [| (a, va, va + i); (b, vb, vb + i) |])
+        then step ()
+      in
+      step ()
+    done
+  in
+  ignore (run_crash fx.pmem ~events:5_000 [ body; body; body ]);
+  Pmem.crash fx.pmem;
+  Mem.reconnect fx.mem;
+  run1 fx.pmem (fun ~tid:_ -> Pmwcas.recover fx.pmw);
+  run1 fx.pmem (fun ~tid:_ ->
+      let va = Pmwcas.read fx.pmw a and vb = Pmwcas.read fx.pmw b in
+      check_bool "no descriptor ref in a" false
+        (Pmwcas.is_desc_ref (Sim.Sched.read a));
+      check_int "atomicity invariant across crash" va vb)
+
+let test_value_domain_enforced () =
+  let fx = make_fx () in
+  run1 fx.pmem (fun ~tid:_ ->
+      let a = word fx 0 in
+      match Pmwcas.mwcas fx.pmw [| (a, 0, -1) |] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "negative value accepted")
+
+let test_recovery_idempotent () =
+  let fx = make_fx () in
+  let a = word fx 0 in
+  ignore
+    (run_crash fx.pmem ~events:200
+       [
+         (fun ~tid:_ ->
+           for i = 1 to 100 do
+             ignore (Pmwcas.mwcas fx.pmw [| (a, i - 1, i) |])
+           done);
+       ]);
+  Pmem.crash fx.pmem;
+  Mem.reconnect fx.mem;
+  run1 fx.pmem (fun ~tid:_ ->
+      Pmwcas.recover fx.pmw;
+      let v1 = Pmwcas.read fx.pmw a in
+      Pmwcas.recover fx.pmw;
+      check_int "second recovery changes nothing" v1 (Pmwcas.read fx.pmw a))
+
+let test_recovery_cost_scales_with_pool () =
+  (* Table 5.4's mechanism: recovery scans the whole descriptor pool *)
+  let time_for n =
+    let fx = make_fx ~n_descriptors:n () in
+    let t0 =
+      match
+        Sim.Sched.run ~machine:(Pmem.machine fx.pmem)
+          [ (0, fun ~tid:_ -> Pmwcas.recover fx.pmw) ]
+      with
+      | Sim.Sched.Completed { time; _ } -> time
+      | Sim.Sched.Crashed_at _ -> Alcotest.fail "crash"
+    in
+    t0
+  in
+  let t_small = time_for 1_000 and t_large = time_for 10_000 in
+  check_bool "10x descriptors, ~10x recovery" true (t_large > 5.0 *. t_small)
+
+let test_allocations_counted () =
+  let fx = make_fx () in
+  run1 fx.pmem (fun ~tid:_ ->
+      let a = word fx 0 in
+      for i = 0 to 9 do
+        ignore (Pmwcas.mwcas fx.pmw [| (a, i, i + 1) |])
+      done);
+  check_int "10 descriptors used" 10 (Pmwcas.allocations fx.pmw)
+
+let () =
+  Alcotest.run "pmwcas"
+    [
+      ( "atomicity",
+        [
+          case "single word success" test_single_word_success;
+          case "single word failure" test_single_word_failure;
+          case "multi-word all-or-nothing" test_multi_word_all_or_nothing;
+          case "dirty-bit protocol" test_read_clears_dirty;
+          case "entry validation" test_entry_count_validation;
+          case "value domain" test_value_domain_enforced;
+        ] );
+      ( "concurrency",
+        [
+          case "concurrent counter" test_concurrent_counter;
+          case "overlapping mwcas" test_concurrent_disjoint_and_overlapping;
+        ] );
+      ( "recovery",
+        [
+          case "crash consistency" test_crash_then_recover_consistent;
+          case "idempotent" test_recovery_idempotent;
+          case "cost scales with pool" test_recovery_cost_scales_with_pool;
+          case "allocation counter" test_allocations_counted;
+        ] );
+    ]

@@ -1,0 +1,273 @@
+(* Unit tests for the simulation substrate: RNG determinism, statistics,
+   and the discrete-event scheduler (ordering, interleaving, crash
+   semantics). *)
+
+open Testsupport
+
+(* ---- Rng ---------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 7 and b = Sim.Rng.create 7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Sim.Rng.next a) (Sim.Rng.next b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Sim.Rng.create 7 and b = Sim.Rng.create 8 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Sim.Rng.next a = Sim.Rng.next b then incr same
+  done;
+  check_bool "different seeds diverge" true (!same < 5)
+
+let test_rng_int_bounds () =
+  let r = Sim.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Sim.Rng.int r 17 in
+    check_bool "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_float_bounds () =
+  let r = Sim.Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Sim.Rng.float r in
+    check_bool "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_geometric_distribution () =
+  let r = Sim.Rng.create 11 in
+  let n = 20_000 in
+  let counts = Array.make 33 0 in
+  for _ = 1 to n do
+    let h = Sim.Rng.geometric r ~p:0.5 ~max_value:32 in
+    check_bool "height >= 1" true (h >= 1);
+    counts.(h) <- counts.(h) + 1
+  done;
+  (* roughly half the samples have height 1, a quarter height 2, ... *)
+  let frac i = float_of_int counts.(i) /. float_of_int n in
+  check_bool "P(h=1) ~ 0.5" true (abs_float (frac 1 -. 0.5) < 0.03);
+  check_bool "P(h=2) ~ 0.25" true (abs_float (frac 2 -. 0.25) < 0.03);
+  check_bool "P(h=3) ~ 0.125" true (abs_float (frac 3 -. 0.125) < 0.02)
+
+let test_rng_geometric_capped () =
+  let r = Sim.Rng.create 13 in
+  for _ = 1 to 2000 do
+    check_bool "capped" true (Sim.Rng.geometric r ~p:0.9 ~max_value:4 <= 4)
+  done
+
+let test_rng_split_independent () =
+  let parent = Sim.Rng.create 9 in
+  let a = Sim.Rng.split parent and b = Sim.Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Sim.Rng.next a = Sim.Rng.next b then incr same
+  done;
+  check_bool "split streams diverge" true (!same < 5)
+
+let test_rng_shuffle_permutation () =
+  let r = Sim.Rng.create 21 in
+  let a = Array.init 50 (fun i -> i) in
+  Sim.Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ---- Stats -------------------------------------------------------------- *)
+
+let test_stats_mean_stddev () =
+  let s = Sim.Stats.create () in
+  List.iter (Sim.Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_bool "mean" true (abs_float (Sim.Stats.mean s -. 5.0) < 1e-9);
+  check_bool "stddev" true (abs_float (Sim.Stats.stddev s -. 2.138) < 1e-2)
+
+let test_stats_percentiles () =
+  let s = Sim.Stats.create () in
+  for i = 1 to 100 do
+    Sim.Stats.add s (float_of_int i)
+  done;
+  check_bool "p50" true (Sim.Stats.percentile s 50.0 = 50.0);
+  check_bool "p99" true (Sim.Stats.percentile s 99.0 = 99.0);
+  check_bool "p100" true (Sim.Stats.percentile s 100.0 = 100.0);
+  check_bool "min" true (Sim.Stats.min_value s = 1.0);
+  check_bool "max" true (Sim.Stats.max_value s = 100.0)
+
+let test_stats_empty () =
+  let s = Sim.Stats.create () in
+  check_bool "mean of empty" true (Sim.Stats.mean s = 0.0);
+  check_bool "p50 of empty" true (Sim.Stats.percentile s 50.0 = 0.0)
+
+let test_stats_growth () =
+  let s = Sim.Stats.create ~capacity:2 () in
+  for i = 1 to 1000 do
+    Sim.Stats.add s (float_of_int i)
+  done;
+  check_int "count" 1000 (Sim.Stats.count s)
+
+let test_stats_add_after_percentile () =
+  let s = Sim.Stats.create () in
+  Sim.Stats.add s 5.0;
+  Sim.Stats.add s 1.0;
+  ignore (Sim.Stats.percentile s 50.0);
+  Sim.Stats.add s 0.5;
+  check_bool "min updated" true (Sim.Stats.min_value s = 0.5)
+
+let test_mean_std () =
+  let m, sd = Sim.Stats.mean_std [ 1.0; 2.0; 3.0 ] in
+  check_bool "mean" true (abs_float (m -. 2.0) < 1e-9);
+  check_bool "std" true (abs_float (sd -. 1.0) < 1e-9);
+  let m1, sd1 = Sim.Stats.mean_std [ 42.0 ] in
+  check_bool "single mean" true (m1 = 42.0);
+  check_bool "single std" true (sd1 = 0.0)
+
+(* ---- Scheduler ----------------------------------------------------------- *)
+
+let test_sched_single_fiber () =
+  let pmem = fast_pmem () in
+  let result = ref 0 in
+  run1 pmem (fun ~tid:_ ->
+      let a = Pmem.addr ~pool:0 ~word:100 in
+      Sim.Sched.write a 42;
+      result := Sim.Sched.read a);
+  check_int "read back" 42 !result
+
+let test_sched_fibers_interleave () =
+  (* with uniform latency both fibers make progress in alternation; a
+     shared counter incremented non-atomically must lose updates *)
+  let pmem = fast_pmem () in
+  let a = Pmem.addr ~pool:0 ~word:8 in
+  let body ~tid:_ =
+    for _ = 1 to 100 do
+      let v = Sim.Sched.read a in
+      Sim.Sched.write a (v + 1)
+    done
+  in
+  ignore (run pmem [ body; body ]);
+  let final = Pmem.peek pmem a in
+  check_bool "non-atomic increments interleave (lost updates)" true (final < 200);
+  check_bool "some progress" true (final >= 100)
+
+let test_sched_cas_no_lost_updates () =
+  let pmem = fast_pmem () in
+  let a = Pmem.addr ~pool:0 ~word:8 in
+  let body ~tid:_ =
+    for _ = 1 to 100 do
+      let rec incr_cas () =
+        let v = Sim.Sched.read a in
+        if not (Sim.Sched.cas a ~expected:v ~desired:(v + 1)) then incr_cas ()
+      in
+      incr_cas ()
+    done
+  in
+  ignore (run pmem [ body; body; body ]);
+  check_int "atomic increments" 300 (Pmem.peek pmem a)
+
+let test_sched_virtual_time_advances () =
+  let pmem = fast_pmem () in
+  let times = ref [] in
+  run1 pmem (fun ~tid:_ ->
+      times := Sim.Sched.now () :: !times;
+      Sim.Sched.charge 100.0;
+      times := Sim.Sched.now () :: !times);
+  match !times with
+  | [ t2; t1 ] -> check_bool "charge advances clock" true (t2 >= t1 +. 100.0)
+  | _ -> Alcotest.fail "expected two timestamps"
+
+let test_sched_self () =
+  let pmem = fast_pmem () in
+  let seen = ref [] in
+  ignore
+    (run pmem
+       [
+         (fun ~tid -> seen := (tid, Sim.Sched.self ()) :: !seen);
+         (fun ~tid -> seen := (tid, Sim.Sched.self ()) :: !seen);
+       ]);
+  List.iter (fun (tid, s) -> check_int "self = tid" tid s) !seen
+
+let test_sched_determinism () =
+  let run_once () =
+    let pmem = fast_pmem ~seed:5 () in
+    let a = Pmem.addr ~pool:0 ~word:8 in
+    let body ~tid =
+      for i = 1 to 50 do
+        let v = Sim.Sched.read a in
+        ignore (Sim.Sched.cas a ~expected:v ~desired:(v + tid + i))
+      done
+    in
+    let time, events = run pmem [ body; body; body ] in
+    (Pmem.peek pmem a, time, events)
+  in
+  let r1 = run_once () and r2 = run_once () in
+  check_bool "identical replay" true (r1 = r2)
+
+let test_sched_crash_stops_execution () =
+  let pmem = fast_pmem () in
+  let a = Pmem.addr ~pool:0 ~word:8 in
+  let completed = ref false in
+  let body ~tid:_ =
+    for i = 1 to 10_000 do
+      Sim.Sched.write a i
+    done;
+    completed := true
+  in
+  let _, events = run_crash pmem ~events:100 [ body ] in
+  check_bool "fiber did not complete" false !completed;
+  check_bool "stopped near the crash point" true (events <= 110)
+
+let test_sched_crash_kills_all_fibers () =
+  let pmem = fast_pmem () in
+  let finished = ref 0 in
+  let body ~tid:_ =
+    for _ = 1 to 1000 do
+      Sim.Sched.charge 10.0
+    done;
+    incr finished
+  in
+  ignore (run_crash pmem ~events:50 [ body; body; body; body ]);
+  check_int "no fiber finished" 0 !finished
+
+let test_sched_completed_counts_events () =
+  let pmem = fast_pmem () in
+  let body ~tid:_ =
+    for _ = 1 to 10 do
+      Sim.Sched.charge 1.0
+    done
+  in
+  let _, events = run pmem [ body ] in
+  check_int "ten events" 10 events
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          case "deterministic" test_rng_deterministic;
+          case "seed sensitivity" test_rng_seed_sensitivity;
+          case "int bounds" test_rng_int_bounds;
+          case "float bounds" test_rng_float_bounds;
+          case "geometric distribution" test_rng_geometric_distribution;
+          case "geometric capped" test_rng_geometric_capped;
+          case "split independence" test_rng_split_independent;
+          case "shuffle permutation" test_rng_shuffle_permutation;
+        ] );
+      ( "stats",
+        [
+          case "mean/stddev" test_stats_mean_stddev;
+          case "percentiles" test_stats_percentiles;
+          case "empty" test_stats_empty;
+          case "growth" test_stats_growth;
+          case "add after percentile" test_stats_add_after_percentile;
+          case "mean_std" test_mean_std;
+        ] );
+      ( "sched",
+        [
+          case "single fiber" test_sched_single_fiber;
+          case "fibers interleave" test_sched_fibers_interleave;
+          case "cas has no lost updates" test_sched_cas_no_lost_updates;
+          case "virtual time advances" test_sched_virtual_time_advances;
+          case "self" test_sched_self;
+          case "deterministic replay" test_sched_determinism;
+          case "crash stops execution" test_sched_crash_stops_execution;
+          case "crash kills all fibers" test_sched_crash_kills_all_fibers;
+          case "event counting" test_sched_completed_counts_events;
+        ] );
+    ]

@@ -1,0 +1,252 @@
+(* Sequential (single-fiber) semantics of UPSkipList: the key-value store
+   contract, multi-key nodes, node splits, range queries and parameter
+   validation. *)
+
+open Testsupport
+module SL = Upskiplist.Skiplist
+module Config = Upskiplist.Config
+
+let upsert fx ~tid k v = SL.upsert fx.sl ~tid k v
+let search fx ~tid k = SL.search fx.sl ~tid k
+let remove fx ~tid k = SL.remove fx.sl ~tid k
+
+let opt_int = Alcotest.(option int)
+
+let test_empty_search () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      Alcotest.check opt_int "absent" None (search fx ~tid 42))
+
+let test_insert_then_search () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      Alcotest.check opt_int "fresh insert" None (upsert fx ~tid 42 4200);
+      Alcotest.check opt_int "found" (Some 4200) (search fx ~tid 42))
+
+let test_upsert_returns_old () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      ignore (upsert fx ~tid 7 70);
+      Alcotest.check opt_int "old value" (Some 70) (upsert fx ~tid 7 71);
+      Alcotest.check opt_int "new value" (Some 71) (search fx ~tid 7))
+
+let test_remove () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      ignore (upsert fx ~tid 5 50);
+      Alcotest.check opt_int "removed old" (Some 50) (remove fx ~tid 5);
+      Alcotest.check opt_int "gone" None (search fx ~tid 5);
+      Alcotest.check opt_int "remove absent" None (remove fx ~tid 5);
+      Alcotest.check opt_int "remove never-inserted" None (remove fx ~tid 6))
+
+let test_reinsert_after_remove () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      ignore (upsert fx ~tid 5 50);
+      ignore (remove fx ~tid 5);
+      Alcotest.check opt_int "reinsert acts as fresh" None (upsert fx ~tid 5 51);
+      Alcotest.check opt_int "found again" (Some 51) (search fx ~tid 5))
+
+let test_mem_key () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      ignore (upsert fx ~tid 9 90);
+      check_bool "present" true (SL.mem_key fx.sl ~tid 9);
+      check_bool "absent" false (SL.mem_key fx.sl ~tid 10))
+
+let test_many_keys_sorted () =
+  let fx = make_skiplist () in
+  let n = 500 in
+  run1 fx.pmem (fun ~tid ->
+      (* insert in a scrambled order *)
+      let keys = Array.init n (fun i -> i + 1) in
+      let rng = Sim.Rng.create 77 in
+      Sim.Rng.shuffle rng keys;
+      Array.iter (fun k -> ignore (upsert fx ~tid k (k * 2))) keys);
+  let pairs = SL.to_alist fx.sl in
+  check_int "all present" n (List.length pairs);
+  check_pairs "sorted with right values"
+    (List.init n (fun i -> (i + 1, (i + 1) * 2)))
+    pairs;
+  check_no_invariant_errors fx.sl
+
+let test_splits_occur () =
+  let fx = make_skiplist () in
+  let k = (SL.config fx.sl).Config.keys_per_node in
+  run1 fx.pmem (fun ~tid ->
+      for i = 1 to 6 * k do
+        ignore (upsert fx ~tid i i)
+      done);
+  check_bool "multiple nodes after splits" true (SL.node_count fx.sl > 3);
+  check_no_invariant_errors fx.sl
+
+let test_descending_inserts () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      for i = 300 downto 1 do
+        ignore (upsert fx ~tid i (i + 1000))
+      done);
+  check_int "all present" 300 (List.length (SL.to_alist fx.sl));
+  check_no_invariant_errors fx.sl
+
+let test_single_key_per_node () =
+  let fx =
+    make_skiplist ~cfg:{ Config.default with keys_per_node = 1 } ()
+  in
+  run1 fx.pmem (fun ~tid ->
+      for i = 1 to 200 do
+        ignore (upsert fx ~tid i (i * 3))
+      done;
+      for i = 1 to 200 do
+        Alcotest.check opt_int "found" (Some (i * 3)) (search fx ~tid i)
+      done);
+  check_int "one key per node" 200 (SL.node_count fx.sl);
+  check_no_invariant_errors fx.sl
+
+let test_large_nodes () =
+  let fx =
+    make_skiplist ~cfg:{ Config.default with keys_per_node = 64 } ()
+  in
+  run1 fx.pmem (fun ~tid ->
+      for i = 1 to 400 do
+        ignore (upsert fx ~tid i i)
+      done);
+  check_int "all present" 400 (List.length (SL.to_alist fx.sl));
+  check_no_invariant_errors fx.sl
+
+(* ---- range queries ----------------------------------------------------- *)
+
+let test_range_basic () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      for i = 1 to 100 do
+        ignore (upsert fx ~tid i (i * 10))
+      done;
+      let r = SL.range fx.sl ~tid ~lo:25 ~hi:30 in
+      check_pairs "inclusive bounds"
+        [ (25, 250); (26, 260); (27, 270); (28, 280); (29, 290); (30, 300) ]
+        r)
+
+let test_range_empty () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      ignore (upsert fx ~tid 10 1);
+      ignore (upsert fx ~tid 20 2);
+      check_pairs "gap" [] (SL.range fx.sl ~tid ~lo:11 ~hi:19);
+      check_pairs "beyond" [] (SL.range fx.sl ~tid ~lo:100 ~hi:200))
+
+let test_range_excludes_tombstones () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      for i = 1 to 20 do
+        ignore (upsert fx ~tid i i)
+      done;
+      ignore (remove fx ~tid 5);
+      ignore (remove fx ~tid 7);
+      let r = SL.range fx.sl ~tid ~lo:4 ~hi:8 in
+      check_pairs "tombstones skipped" [ (4, 4); (6, 6); (8, 8) ] r)
+
+let test_range_whole_set () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      for i = 1 to 150 do
+        ignore (upsert fx ~tid i i)
+      done;
+      let r = SL.range fx.sl ~tid ~lo:1 ~hi:1000 in
+      check_int "whole set" 150 (List.length r))
+
+let test_range_single_element () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      for i = 1 to 50 do
+        ignore (upsert fx ~tid i i)
+      done;
+      check_pairs "point query" [ (33, 33) ] (SL.range fx.sl ~tid ~lo:33 ~hi:33))
+
+(* ---- validation ----------------------------------------------------------- *)
+
+let test_key_value_validation () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      let expect_invalid f =
+        match f () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument"
+      in
+      expect_invalid (fun () -> upsert fx ~tid 0 1);
+      expect_invalid (fun () -> upsert fx ~tid (-3) 1);
+      expect_invalid (fun () -> upsert fx ~tid max_int 1);
+      expect_invalid (fun () -> upsert fx ~tid 1 0);
+      expect_invalid (fun () -> search fx ~tid 0);
+      expect_invalid (fun () -> remove fx ~tid 0))
+
+let test_config_validation () =
+  let expect_invalid cfg =
+    match Config.validate cfg with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid { Config.default with keys_per_node = 0 };
+  expect_invalid { Config.default with max_height = 1 };
+  expect_invalid { Config.default with branching_p = 0.0 };
+  expect_invalid { Config.default with branching_p = 1.0 };
+  expect_invalid { Config.default with recovery_budget = -1 }
+
+let test_deterministic_replay () =
+  let run_once () =
+    let fx = make_skiplist ~seed:123 () in
+    run1 fx.pmem (fun ~tid ->
+        for i = 1 to 200 do
+          ignore (upsert fx ~tid i i)
+        done);
+    (SL.node_count fx.sl, SL.to_alist fx.sl)
+  in
+  check_bool "same structure on replay" true (run_once () = run_once ())
+
+let test_values_updated_in_place () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      ignore (upsert fx ~tid 11 1);
+      let nodes_before = SL.node_count fx.sl in
+      for v = 2 to 50 do
+        ignore (upsert fx ~tid 11 v)
+      done;
+      check_int "no new nodes for updates" nodes_before (SL.node_count fx.sl);
+      Alcotest.check opt_int "last value wins" (Some 50) (search fx ~tid 11))
+
+let () =
+  Alcotest.run "skiplist"
+    [
+      ( "kv contract",
+        [
+          case "empty search" test_empty_search;
+          case "insert then search" test_insert_then_search;
+          case "upsert returns old" test_upsert_returns_old;
+          case "remove" test_remove;
+          case "reinsert after remove" test_reinsert_after_remove;
+          case "mem_key" test_mem_key;
+          case "values updated in place" test_values_updated_in_place;
+        ] );
+      ( "structure",
+        [
+          case "many keys sorted" test_many_keys_sorted;
+          case "splits occur" test_splits_occur;
+          case "descending inserts" test_descending_inserts;
+          case "single key per node" test_single_key_per_node;
+          case "large nodes" test_large_nodes;
+          case "deterministic replay" test_deterministic_replay;
+        ] );
+      ( "range",
+        [
+          case "basic" test_range_basic;
+          case "empty" test_range_empty;
+          case "excludes tombstones" test_range_excludes_tombstones;
+          case "whole set" test_range_whole_set;
+          case "single element" test_range_single_element;
+        ] );
+      ( "validation",
+        [
+          case "key/value validation" test_key_value_validation;
+          case "config validation" test_config_validation;
+        ] );
+    ]

@@ -1,0 +1,228 @@
+(* Concurrent behaviour of UPSkipList under simulated interleaving: disjoint
+   and contended writers, readers racing splits, lock behaviour, and the
+   structural invariants after every scenario. *)
+
+open Testsupport
+module SL = Upskiplist.Skiplist
+module Config = Upskiplist.Config
+
+let opt_int = Alcotest.(option int)
+
+let test_disjoint_writers () =
+  let fx = make_skiplist () in
+  let threads = 8 and per = 150 in
+  let body ~tid =
+    for i = 0 to per - 1 do
+      let k = 1 + (i * threads) + tid in
+      ignore (SL.upsert fx.sl ~tid k (k * 7))
+    done
+  in
+  ignore (run fx.pmem (List.init threads (fun _ -> body)));
+  let pairs = SL.to_alist fx.sl in
+  check_int "all inserted" (threads * per) (List.length pairs);
+  List.iter (fun (k, v) -> check_int "value" (k * 7) v) pairs;
+  check_no_invariant_errors fx.sl
+
+let test_contended_same_keys () =
+  let fx = make_skiplist () in
+  let threads = 6 and keys = 40 in
+  let body ~tid =
+    for k = 1 to keys do
+      ignore (SL.upsert fx.sl ~tid k ((tid * 1000) + k))
+    done
+  in
+  ignore (run fx.pmem (List.init threads (fun _ -> body)));
+  let pairs = SL.to_alist fx.sl in
+  check_int "each key exactly once" keys (List.length pairs);
+  List.iter
+    (fun (k, v) ->
+      (* the surviving value was written by some thread for this key *)
+      check_bool "value plausible" true (v mod 1000 = k))
+    pairs;
+  check_no_invariant_errors fx.sl
+
+let test_readers_during_writes () =
+  let fx = make_skiplist () in
+  let writer ~tid =
+    for i = 1 to 300 do
+      ignore (SL.upsert fx.sl ~tid i i)
+    done
+  in
+  let reader ~tid =
+    for i = 1 to 300 do
+      match SL.search fx.sl ~tid i with
+      | None -> ()
+      | Some v -> check_int "reader sees the written value" i v
+    done
+  in
+  ignore (run fx.pmem [ writer; reader; reader; writer ]);
+  check_no_invariant_errors fx.sl
+
+let test_split_contention () =
+  (* tiny nodes + dense keys: most inserts race node splits *)
+  let fx = make_skiplist ~cfg:{ Config.default with keys_per_node = 4 } () in
+  let threads = 8 and per = 80 in
+  let body ~tid =
+    for i = 0 to per - 1 do
+      let k = 1 + (i * threads) + tid in
+      ignore (SL.upsert fx.sl ~tid k k)
+    done
+  in
+  ignore (run fx.pmem (List.init threads (fun _ -> body)));
+  check_int "all present" (threads * per) (List.length (SL.to_alist fx.sl));
+  check_no_invariant_errors fx.sl
+
+let test_update_during_split_is_not_lost () =
+  (* updates take the read lock; a racing split must never lose an acked
+     update *)
+  let fx = make_skiplist ~cfg:{ Config.default with keys_per_node = 8 } () in
+  let updates = Hashtbl.create 64 in
+  let updater ~tid =
+    for round = 1 to 30 do
+      let k = 1 + (tid * 37 mod 50) in
+      let v = (tid * 100000) + (round * 100) + k in
+      ignore (SL.upsert fx.sl ~tid k v);
+      Hashtbl.replace updates (tid, k) v
+    done
+  in
+  let inserter ~tid =
+    for i = 1 to 200 do
+      ignore (SL.upsert fx.sl ~tid (1000 + (i * 4) + tid) i)
+    done
+  in
+  ignore (run fx.pmem [ updater; updater; inserter; inserter ]);
+  (* every key some updater touched must hold one of the written values *)
+  let pairs = SL.to_alist fx.sl in
+  Hashtbl.iter
+    (fun (_, k) _ ->
+      match List.assoc_opt k pairs with
+      | None -> Alcotest.failf "key %d lost" k
+      | Some v -> check_int "value written by an updater" k (v mod 100))
+    updates;
+  check_no_invariant_errors fx.sl
+
+let test_remove_insert_races () =
+  let fx = make_skiplist () in
+  let remover ~tid =
+    for k = 1 to 100 do
+      ignore (SL.remove fx.sl ~tid k)
+    done
+  in
+  let inserter ~tid =
+    for k = 1 to 100 do
+      ignore (SL.upsert fx.sl ~tid k (k + 5000))
+    done
+  in
+  ignore (run fx.pmem [ inserter; remover; inserter; remover ]);
+  (* every key is either present with the inserted value or tombstoned *)
+  List.iter
+    (fun (k, v) -> check_int "surviving value" (k + 5000) v)
+    (SL.to_alist fx.sl);
+  check_no_invariant_errors fx.sl
+
+let test_range_during_inserts () =
+  let fx = make_skiplist () in
+  let seen = ref [] in
+  let inserter ~tid =
+    for i = 1 to 400 do
+      ignore (SL.upsert fx.sl ~tid i i)
+    done
+  in
+  let scanner ~tid =
+    for _ = 1 to 10 do
+      let r = SL.range fx.sl ~tid ~lo:50 ~hi:150 in
+      seen := r :: !seen;
+      Sim.Sched.charge 500.0
+    done
+  in
+  ignore (run fx.pmem [ inserter; scanner ]);
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (k, v) ->
+          check_bool "in range" true (k >= 50 && k <= 150);
+          check_int "right value" k v)
+        r;
+      (* results are sorted and duplicate-free *)
+      let keys = List.map fst r in
+      check_bool "sorted" true (List.sort_uniq compare keys = keys))
+    !seen
+
+let test_concurrent_searches_return_consistent () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      for i = 1 to 200 do
+        ignore (SL.upsert fx.sl ~tid i (i * 2))
+      done);
+  let body ~tid =
+    for i = 1 to 200 do
+      Alcotest.check opt_int "stable read" (Some (i * 2)) (SL.search fx.sl ~tid i)
+    done
+  in
+  ignore (run fx.pmem [ body; body; body; body ])
+
+let test_many_threads_smoke () =
+  let fx = make_skiplist ~max_threads:40 () in
+  let threads = 32 and per = 25 in
+  let body ~tid =
+    for i = 0 to per - 1 do
+      let k = 1 + (i * threads) + tid in
+      ignore (SL.upsert fx.sl ~tid k k);
+      ignore (SL.search fx.sl ~tid (1 + ((k * 13) mod (threads * per))))
+    done
+  in
+  ignore (run fx.pmem (List.init threads (fun _ -> body)));
+  check_int "all present" (threads * per) (List.length (SL.to_alist fx.sl));
+  check_no_invariant_errors fx.sl
+
+let test_read_lock_blocks_write_lock () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid:_ ->
+      let mem = SL.mem fx.sl in
+      let n = SL.head fx.sl in
+      check_bool "read lock" true (Upskiplist.Node.Lock.read_lock mem n);
+      check_bool "write lock blocked" false (Upskiplist.Node.Lock.write_lock mem n);
+      Upskiplist.Node.Lock.read_unlock mem n;
+      check_bool "write lock after unlock" true
+        (Upskiplist.Node.Lock.write_lock mem n);
+      check_bool "read lock blocked by writer" false
+        (Upskiplist.Node.Lock.read_lock mem n);
+      Upskiplist.Node.Lock.write_unlock mem n;
+      check_bool "read lock after write unlock" true
+        (Upskiplist.Node.Lock.read_lock mem n))
+
+let test_multiple_readers () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid:_ ->
+      let mem = SL.mem fx.sl in
+      let n = SL.head fx.sl in
+      check_bool "r1" true (Upskiplist.Node.Lock.read_lock mem n);
+      check_bool "r2" true (Upskiplist.Node.Lock.read_lock mem n);
+      check_bool "r3" true (Upskiplist.Node.Lock.read_lock mem n);
+      check_int "three readers" 3
+        (Upskiplist.Node.Lock.readers (Upskiplist.Node.Lock.word mem n)))
+
+let () =
+  Alcotest.run "skiplist_concurrent"
+    [
+      ( "writers",
+        [
+          case "disjoint writers" test_disjoint_writers;
+          case "contended same keys" test_contended_same_keys;
+          case "split contention" test_split_contention;
+          case "update during split" test_update_during_split_is_not_lost;
+          case "remove/insert races" test_remove_insert_races;
+          case "many threads" test_many_threads_smoke;
+        ] );
+      ( "readers",
+        [
+          case "readers during writes" test_readers_during_writes;
+          case "range during inserts" test_range_during_inserts;
+          case "stable reads" test_concurrent_searches_return_consistent;
+        ] );
+      ( "locks",
+        [
+          case "read blocks write" test_read_lock_blocks_write_lock;
+          case "multiple readers" test_multiple_readers;
+        ] );
+    ]

@@ -1,0 +1,262 @@
+(* Crash-recovery behaviour of UPSkipList: epoch-based lazy repair,
+   durability of acknowledged operations, interrupted splits and tower
+   builds, allocation-log reclamation, repeated crashes, and the recovery
+   throttling budget (paper Sections 4.1.3-4.5.2). *)
+
+open Testsupport
+module SL = Upskiplist.Skiplist
+module Config = Upskiplist.Config
+module Mem = Memory.Mem
+module Block_alloc = Memory.Block_alloc
+
+let opt_int = Alcotest.(option int)
+
+(* Run an insert workload, crash at [events], reconnect, and return the set
+   of keys whose upsert was acknowledged before the crash. *)
+let crash_during_inserts ?(threads = 4) ?(per_thread = 400) ~events fx =
+  let acked = Array.make threads [] in
+  let body ~tid =
+    for i = 0 to per_thread - 1 do
+      let k = 1 + (i * threads) + tid in
+      ignore (SL.upsert fx.sl ~tid k (k * 2));
+      acked.(tid) <- k :: acked.(tid)
+    done
+  in
+  ignore (run_crash fx.pmem ~events (List.init threads (fun _ -> body)));
+  Pmem.crash fx.pmem;
+  Mem.reconnect fx.mem;
+  Array.to_list acked |> List.concat
+
+let test_acked_inserts_survive () =
+  let fx = make_skiplist () in
+  let acked = crash_during_inserts ~events:60_000 fx in
+  check_bool "some inserts acked before crash" true (List.length acked > 50);
+  run1 fx.pmem (fun ~tid ->
+      List.iter
+        (fun k ->
+          Alcotest.check opt_int
+            (Printf.sprintf "acked key %d survives" k)
+            (Some (k * 2)) (SL.search fx.sl ~tid k))
+        acked)
+
+let test_acked_updates_survive () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      for k = 1 to 100 do
+        ignore (SL.upsert fx.sl ~tid k k)
+      done);
+  (* updates acked before the crash must survive it *)
+  let acked = ref [] in
+  let body ~tid =
+    for k = 1 to 100 do
+      if k mod 4 = tid then begin
+        ignore (SL.upsert fx.sl ~tid k (k + 777));
+        acked := k :: !acked
+      end
+    done
+  in
+  ignore (run_crash fx.pmem ~events:3_000 (List.init 4 (fun _ -> body)));
+  Pmem.crash fx.pmem;
+  Mem.reconnect fx.mem;
+  run1 fx.pmem (fun ~tid ->
+      List.iter
+        (fun k ->
+          Alcotest.check opt_int "acked update survives" (Some (k + 777))
+            (SL.search fx.sl ~tid k))
+        !acked)
+
+let test_acked_removes_survive () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      for k = 1 to 50 do
+        ignore (SL.upsert fx.sl ~tid k k)
+      done;
+      for k = 1 to 25 do
+        ignore (SL.remove fx.sl ~tid k)
+      done);
+  Pmem.crash fx.pmem;
+  Mem.reconnect fx.mem;
+  run1 fx.pmem (fun ~tid ->
+      for k = 1 to 25 do
+        Alcotest.check opt_int "removed stays removed" None (SL.search fx.sl ~tid k)
+      done;
+      for k = 26 to 50 do
+        Alcotest.check opt_int "kept" (Some k) (SL.search fx.sl ~tid k)
+      done)
+
+let test_structure_usable_after_crash () =
+  let fx = make_skiplist () in
+  ignore (crash_during_inserts ~events:40_000 fx);
+  (* post-crash writes and reads work, and repairs restore the invariants *)
+  run1 fx.pmem (fun ~tid ->
+      for k = 100_000 to 100_200 do
+        ignore (SL.upsert fx.sl ~tid k k)
+      done;
+      for k = 100_000 to 100_200 do
+        Alcotest.check opt_int "new insert found" (Some k) (SL.search fx.sl ~tid k)
+      done)
+
+let test_invariants_restored_after_retouch () =
+  let fx = make_skiplist ~cfg:{ Config.default with keys_per_node = 4 } () in
+  let acked = crash_during_inserts ~threads:6 ~per_thread:200 ~events:50_000 fx in
+  (* touching every key forces every node to be visited and repaired *)
+  run1 fx.pmem (fun ~tid ->
+      List.iter (fun k -> ignore (SL.upsert fx.sl ~tid k (k * 2))) acked;
+      List.iter (fun k -> ignore (SL.search fx.sl ~tid k)) acked);
+  check_no_invariant_errors fx.sl
+
+let test_repeated_crashes () =
+  let fx = make_skiplist () in
+  let all_acked = ref [] in
+  for round = 0 to 2 do
+    let acked = Array.make 4 [] in
+    let body ~tid =
+      for i = 0 to 199 do
+        let k = 1 + (round * 10_000) + (i * 4) + tid in
+        ignore (SL.upsert fx.sl ~tid k (k * 2));
+        acked.(tid) <- k :: acked.(tid)
+      done
+    in
+    ignore (run_crash fx.pmem ~events:20_000 (List.init 4 (fun _ -> body)));
+    Pmem.crash fx.pmem;
+    Mem.reconnect fx.mem;
+    all_acked := (Array.to_list acked |> List.concat) @ !all_acked
+  done;
+  check_int "three eras" 4 (Mem.epoch fx.mem);
+  run1 fx.pmem (fun ~tid ->
+      List.iter
+        (fun k ->
+          Alcotest.check opt_int "survives all crashes" (Some (k * 2))
+            (SL.search fx.sl ~tid k))
+        !all_acked)
+
+let test_crash_with_random_eviction () =
+  (* random cache evictions at crash time persist extra lines; acked ops
+     must still be exactly preserved *)
+  let pmem = fast_pmem ~eviction_probability:0.5 ~seed:7 () in
+  let cfg = Config.default in
+  let block_words = SL.required_block_words cfg in
+  let mem = make_mem ~block_words pmem in
+  let sl = SL.create ~mem ~cfg ~max_threads:16 ~seed:7 in
+  let fx = { pmem; mem; sl } in
+  let acked = crash_during_inserts ~events:40_000 fx in
+  run1 fx.pmem (fun ~tid ->
+      List.iter
+        (fun k ->
+          Alcotest.check opt_int "acked survives eviction-crash" (Some (k * 2))
+            (SL.search fx.sl ~tid k))
+        acked)
+
+let test_block_conservation_after_crash () =
+  (* no allocator block may leak across a crash once each thread has
+     performed its next allocation (deferred log recovery, Function 3) *)
+  let fx = make_skiplist ~cfg:{ Config.default with keys_per_node = 4 } () in
+  let threads = 4 in
+  ignore (crash_during_inserts ~threads ~events:30_000 fx);
+  (* force every thread to allocate again: log checks reclaim lost blocks *)
+  let body ~tid =
+    for i = 0 to 30 do
+      ignore (SL.upsert fx.sl ~tid (500_000 + (i * threads) + tid) 1)
+    done
+  in
+  ignore (run fx.pmem (List.init threads (fun _ -> body)));
+  let total_blocks =
+    Mem.chunks_allocated fx.mem * Mem.blocks_per_chunk fx.mem
+  in
+  let free =
+    let acc = ref 0 in
+    for pool = 0 to Mem.n_pools fx.mem - 1 do
+      for arena = 0 to fx.mem.Mem.n_arenas - 1 do
+        acc := !acc + Block_alloc.free_list_length fx.mem ~pool ~arena
+      done
+    done;
+    !acc
+  in
+  let in_structure = SL.node_count fx.sl in
+  (* every block is either free or a linked node; allow the blocks still
+     named in per-thread logs whose owners have not allocated again *)
+  check_bool
+    (Printf.sprintf "conservation: %d free + %d linked vs %d total" free
+       in_structure total_blocks)
+    true
+    (free + in_structure = total_blocks)
+
+let test_epoch_claim_is_per_node () =
+  let fx = make_skiplist () in
+  run1 fx.pmem (fun ~tid ->
+      for k = 1 to 50 do
+        ignore (SL.upsert fx.sl ~tid k k)
+      done);
+  Pmem.crash fx.pmem;
+  Mem.reconnect fx.mem;
+  (* a single search touches nodes on its path; their epochs advance *)
+  run1 fx.pmem (fun ~tid -> ignore (SL.search fx.sl ~tid 25));
+  let mem = SL.mem fx.sl in
+  let visited_current =
+    let rec walk n acc =
+      if Memory.Riv.equal n (SL.tail fx.sl) then acc
+      else begin
+        let e = Mem.peek_field mem n Upskiplist.Node.o_epoch in
+        walk
+          (Memory.Riv.of_word
+             (Mem.peek_field mem n
+                (Upskiplist.Node.o_keys
+                + (2 * (SL.config fx.sl).Config.keys_per_node))))
+          (if e = Mem.epoch mem then acc + 1 else acc)
+      end
+    in
+    walk
+      (Memory.Riv.of_word
+         (Mem.peek_field mem (SL.head fx.sl)
+            (Upskiplist.Node.o_keys
+            + (2 * (SL.config fx.sl).Config.keys_per_node))))
+      0
+  in
+  check_bool "some nodes recovered lazily" true (visited_current > 0)
+
+let test_zero_budget_still_correct () =
+  (* recovery_budget = 0: traversals only repair locked nodes (split
+     recovery); reads remain correct because towers are optional paths *)
+  let fx =
+    make_skiplist ~cfg:{ Config.default with recovery_budget = 0 } ()
+  in
+  let acked = crash_during_inserts ~events:40_000 fx in
+  run1 fx.pmem (fun ~tid ->
+      List.iter
+        (fun k ->
+          Alcotest.check opt_int "correct with zero budget" (Some (k * 2))
+            (SL.search fx.sl ~tid k))
+        acked)
+
+let test_crash_before_any_flush () =
+  let fx = make_skiplist () in
+  ignore (run_crash fx.pmem ~events:3 [ (fun ~tid -> ignore (SL.upsert fx.sl ~tid 1 1)) ]);
+  Pmem.crash fx.pmem;
+  Mem.reconnect fx.mem;
+  run1 fx.pmem (fun ~tid ->
+      Alcotest.check opt_int "nothing acked, nothing found" None
+        (SL.search fx.sl ~tid 1);
+      Alcotest.check opt_int "insert works" None (SL.upsert fx.sl ~tid 1 10))
+
+let () =
+  Alcotest.run "skiplist_recovery"
+    [
+      ( "durability",
+        [
+          case "acked inserts survive" test_acked_inserts_survive;
+          case "acked updates survive" test_acked_updates_survive;
+          case "acked removes survive" test_acked_removes_survive;
+          case "eviction-crash durability" test_crash_with_random_eviction;
+        ] );
+      ( "repair",
+        [
+          case "usable after crash" test_structure_usable_after_crash;
+          case "invariants after retouch" test_invariants_restored_after_retouch;
+          case "repeated crashes" test_repeated_crashes;
+          case "lazy per-node epochs" test_epoch_claim_is_per_node;
+          case "zero recovery budget" test_zero_budget_still_correct;
+          case "crash before any flush" test_crash_before_any_flush;
+        ] );
+      ( "allocation",
+        [ case "block conservation" test_block_conservation_after_crash ] );
+    ]
