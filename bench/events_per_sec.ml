@@ -1,0 +1,116 @@
+(* Engine microbenchmark: raw scheduler+PMEM event throughput (host events
+   per second), isolated from any data structure. Useful for attributing
+   wall-clock changes: compares cache-hit reads vs misses, fast path on vs
+   off, and 1 vs 8 fibers.
+
+     dune exec bench/events_per_sec.exe *)
+
+let ops = 2_000_000
+
+let mk_pmem () = Pmem.create Pmem.default_config
+
+let time_run label ~fast_path ~threads body =
+  let pmem = mk_pmem () in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Sim.Sched.run ~fast_path ~machine:(Pmem.machine pmem)
+       (List.init threads (fun tid -> (tid, body)))
+   with
+  | Sim.Sched.Completed _ -> ()
+  | Sim.Sched.Crashed_at _ -> assert false);
+  let dt = Unix.gettimeofday () -. t0 in
+  let events = threads * ops in
+  Fmt.pr "%-34s %8.1f ns/event  %6.2f Mevents/s@." label
+    (dt *. 1e9 /. float_of_int events)
+    (float_of_int events /. dt /. 1e6)
+
+let hot_read ~tid =
+  let a = Pmem.addr ~pool:0 ~word:(64 * tid) in
+  for _ = 1 to ops do
+    ignore (Sim.Sched.read a)
+  done
+
+let spread_read ~tid =
+  let rng = Sim.Rng.create tid in
+  for _ = 1 to ops do
+    ignore (Sim.Sched.read (Pmem.addr ~pool:0 ~word:(Sim.Rng.int rng 100_000)))
+  done
+
+let charge_only ~tid:_ =
+  for _ = 1 to ops do
+    Sim.Sched.charge 3.0
+  done
+
+let now_only ~tid:_ =
+  for _ = 1 to ops do
+    ignore (Sim.Sched.now ())
+  done
+
+(* Real-workload probe: one fig-5.1-style point (UPSkipList, YCSB A), but
+   reporting simulated events and host ns/event so wall-clock time can be
+   attributed between the engine and the algorithm code above it. *)
+let workload_point ~threads ~fast_path =
+  let module Kv = Harness.Kv in
+  let module W = Ycsb.Workload in
+  let sys = { Kv.default_sys with mode = Pmem.Striped; pool_words = 1 lsl 21 } in
+  let cfg =
+    { Upskiplist.Config.default with keys_per_node = 64; max_height = 24 }
+  in
+  let kv = Kv.make_upskiplist ~cfg sys in
+  let n_initial = 10_000 in
+  Harness.Driver.preload kv ~threads:8 ~n:n_initial;
+  (* 25x a fig-5.1 point so each measurement runs for seconds, not tens of
+     milliseconds — the host is too noisy for sub-second timings *)
+  let ops_per_thread = 25 * max 20 (max 4_000 (threads * 120) / threads) in
+  let streams =
+    W.generate ~seed:20210811 ~spec:W.a ~n_initial ~threads ~ops_per_thread
+  in
+  let body ~tid =
+    Array.iteri
+      (fun seq op ->
+        match op with
+        | W.Read k -> ignore (kv.Kv.search ~tid k)
+        | W.Update k | W.Insert k ->
+            ignore (kv.Kv.upsert ~tid k (1 + (tid * (1 lsl 24)) + seq))
+        | W.Scan (k, len) -> ignore (kv.Kv.range ~tid ~lo:k ~hi:(k + len)))
+      streams.(tid)
+  in
+  let t0 = Unix.gettimeofday () in
+  let events =
+    match
+      Sim.Sched.run ~fast_path ~machine:(Kv.machine kv)
+        (List.init threads (fun tid -> (tid, body)))
+    with
+    | Sim.Sched.Completed { events; _ } -> events
+    | Sim.Sched.Crashed_at _ -> assert false
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Fmt.pr
+    "%-34s %8.1f ns/event  %6.2f Mevents/s  (%d events, %d ops, %.1f \
+     events/op, %.3f s)@."
+    (Printf.sprintf "ycsb-a point, %d thr, %s" threads
+       (if fast_path then "fast" else "slow"))
+    (dt *. 1e9 /. float_of_int events)
+    (float_of_int events /. dt /. 1e6)
+    events
+    (threads * ops_per_thread)
+    (float_of_int events /. float_of_int (threads * ops_per_thread))
+    dt
+
+let () =
+  Gc.set { (Gc.get ()) with minor_heap_size = 1 lsl 22; space_overhead = 200 };
+  time_run "charge, 1 fiber, fast" ~fast_path:true ~threads:1 charge_only;
+  time_run "charge, 1 fiber, slow" ~fast_path:false ~threads:1 charge_only;
+  time_run "now (no park), 1 fiber" ~fast_path:true ~threads:1 now_only;
+  time_run "hot read, 1 fiber, fast" ~fast_path:true ~threads:1 hot_read;
+  time_run "hot read, 1 fiber, slow" ~fast_path:false ~threads:1 hot_read;
+  time_run "hot read, 8 fibers, fast" ~fast_path:true ~threads:8 hot_read;
+  time_run "hot read, 8 fibers, slow" ~fast_path:false ~threads:8 hot_read;
+  time_run "spread read, 8 fibers, fast" ~fast_path:true ~threads:8 spread_read;
+  List.iter
+    (fun threads ->
+      for _ = 1 to 2 do
+        workload_point ~threads ~fast_path:true;
+        workload_point ~threads ~fast_path:false
+      done)
+    [ 8; 48 ]

@@ -732,6 +732,34 @@ let micro () =
       | exception _ -> Fmt.pr "  %-36s (analysis failed)@." name)
     raws
 
+(* ---- smoke figure (CI) --------------------------------------------------------- *)
+
+(* A deliberately tiny figure for the `bench/smoke` dune alias: one
+   structure, two workloads, two thread counts. Finishes in seconds while
+   still exercising the full preload → driver → report → --json path. *)
+let smoke () =
+  Report.heading "Smoke — UPSkipList, workloads A and C (tiny CI figure)";
+  let kv = Kv.make_upskiplist ~cfg:bench_cfg striped_sys in
+  let n = 2_000 in
+  Driver.preload kv ~threads:4 ~n;
+  let threads_sweep = [ 1; 8 ] in
+  List.iter
+    (fun spec ->
+      let columns =
+        [
+          ( "UPSkipList (Mops/s)",
+            List.map
+              (fun threads ->
+                Driver.throughput_trials kv ~spec ~threads ~n_initial:n
+                  ~ops_per_thread:200 ~seed ~trials:1)
+              threads_sweep );
+        ]
+      in
+      Report.series
+        ~title:(Printf.sprintf "Workload %s (smoke scale)" spec.W.label)
+        ~x_label:"threads" ~x_values:threads_sweep ~columns)
+    [ W.a; W.c ]
+
 (* ---- registry ------------------------------------------------------------------ *)
 
 let experiments =
@@ -748,6 +776,7 @@ let experiments =
     ("chapter6", chapter6);
     ("ablations", ablations);
     ("micro", micro);
+    ("smoke", smoke);
   ]
 
 (* run each distinct function once even when selected under two names *)
@@ -757,31 +786,99 @@ let default_set =
     "table2.1"; "chapter6"; "ablations";
   ]
 
+(* Baseline wall-clock file: one "<experiment> <seconds>" pair per line,
+   recorded from a pre-change run (see EXPERIMENTS.md, "Wall-clock
+   methodology"). Folded into the --json output as baseline_wall_s. *)
+let read_wall_baseline path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       match String.split_on_char ' ' line with
+       | [ name; secs ] when name <> "" ->
+           entries := (name, float_of_string secs) :: !entries
+       | [] | [ "" ] -> ()
+       | _ -> failwith (Printf.sprintf "bad wall-baseline line %S" line)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--full" then begin
-          scale := full;
-          false
-        end
-        else true)
-      args
+  (* The simulator allocates a handful of small objects per event (effect
+     payloads, continuations, waiters); a larger minor heap trades a little
+     memory for far fewer collections. Wall clock only — simulated results
+     are identical under any GC settings. *)
+  Gc.set { (Gc.get ()) with minor_heap_size = 1 lsl 22; space_overhead = 200 };
+  let json_path = ref None in
+  let wall_baseline = ref [] in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--full" :: rest ->
+        scale := full;
+        parse acc rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse acc rest
+    | [ "--json" ] -> failwith "--json requires a file argument"
+    | "--wall-baseline-file" :: path :: rest ->
+        wall_baseline := read_wall_baseline path;
+        parse acc rest
+    | [ "--wall-baseline-file" ] ->
+        failwith "--wall-baseline-file requires a file argument"
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let selected =
     match args with [] | [ "all" ] -> default_set | names -> names
   in
   let t0 = Unix.gettimeofday () in
+  let figures = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
       | Some f ->
+          let samples_before = Report.sample_count () in
           let t = Unix.gettimeofday () in
           f ();
-          Fmt.pr "@.[%s finished in %.1f s]@." name (Unix.gettimeofday () -. t)
+          let wall_s = Unix.gettimeofday () -. t in
+          Fmt.pr "@.[%s finished in %.1f s]@." name wall_s;
+          let sim =
+            (* samples captured by this experiment only *)
+            List.filteri
+              (fun i _ -> i >= samples_before)
+              (Report.samples ())
+          in
+          figures :=
+            {
+              Report.name;
+              wall_s;
+              baseline_wall_s = List.assoc_opt name !wall_baseline;
+              sim;
+            }
+            :: !figures
       | None ->
           Fmt.epr "unknown experiment %S; available: %s@." name
             (String.concat ", " (List.map fst experiments)))
     selected;
-  Fmt.pr "@.total wall time: %.1f s@." (Unix.gettimeofday () -. t0)
+  let total_wall_s = Unix.gettimeofday () -. t0 in
+  Fmt.pr "@.total wall time: %.1f s@." total_wall_s;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let figures = List.rev !figures in
+      let baseline_total_wall_s =
+        (* meaningful only when every selected figure has a baseline *)
+        let baselines =
+          List.filter_map (fun f -> f.Report.baseline_wall_s) figures
+        in
+        if List.length baselines = List.length figures && figures <> [] then
+          Some (List.fold_left ( +. ) 0.0 baselines)
+        else None
+      in
+      Report.write_json ~path
+        ~label:(Printf.sprintf "upskiplist bench (%d figures)" (List.length figures))
+        ~scale:(if !scale == full then "full" else "quick")
+        ~total_wall_s ~baseline_total_wall_s figures;
+      Fmt.pr "perf trajectory written to %s@." path

@@ -190,7 +190,7 @@ let demo_cmd () =
                (kv.Kv.search ~tid 7) );
        ]
    with
-  | Sim.Sched.Completed { time; events } ->
+  | Sim.Sched.Completed { time; events; _ } ->
       Fmt.pr "  (%d simulated events, %.0f ns virtual time)@." events time
   | Sim.Sched.Crashed_at _ -> assert false);
   Pmem.crash kv.Kv.pmem;

@@ -69,7 +69,7 @@ let () =
   (match
      Sim.Sched.run ~machine (List.init threads (fun tid -> (tid, worker)))
    with
-  | Sim.Sched.Completed { time; events } ->
+  | Sim.Sched.Completed { time; events; _ } ->
       Fmt.pr
         "served %d ops from %d threads: %.2f ms simulated (%d events), %d \
          lookups hit, %d rows scanned@."

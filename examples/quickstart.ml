@@ -36,9 +36,9 @@ let () =
     done
   in
   (match Sim.Sched.run ~machine (List.init 4 (fun tid -> (tid, writer))) with
-  | Sim.Sched.Completed { time; events } ->
-      Fmt.pr "loaded 1000 keys from 4 threads: %d events, %.1f us virtual@."
-        events (time /. 1e3)
+  | Sim.Sched.Completed { time; events; fibers } ->
+      Fmt.pr "loaded 1000 keys from %d threads: %d events, %.1f us virtual@."
+        fibers events (time /. 1e3)
   | Sim.Sched.Crashed_at _ -> assert false);
 
   (* 5. Reads, updates, removals, range scans. *)

@@ -2,9 +2,32 @@
 
    Every figure is rendered as a data series (x = threads, y = Mops/s or
    latency), every table as aligned columns — the same rows/series the
-   paper reports, ready to plot. *)
+   paper reports, ready to plot.
+
+   Every printed series is also captured as {!sample} records so the bench
+   driver can emit a machine-readable perf trajectory (`--json`, see
+   EXPERIMENTS.md "Wall-clock methodology"). *)
+
+type sample = {
+  figure : string;  (* heading active when the series was printed *)
+  series : string;  (* series title *)
+  column : string;  (* column label, e.g. "UPSkipList (Mops/s)" *)
+  x : int;  (* x value, e.g. thread count *)
+  mean : float;
+  sd : float;
+}
+
+let captured : sample list ref = ref []  (* newest first *)
+let current_figure = ref ""
+
+let samples () = List.rev !captured
+let sample_count () = List.length !captured
+let reset_samples () =
+  captured := [];
+  current_figure := ""
 
 let heading title =
+  current_figure := title;
   let line = String.make (String.length title) '=' in
   Fmt.pr "@.%s@.%s@." title line
 
@@ -37,6 +60,15 @@ let f3 x = Printf.sprintf "%.3f" x
 
 (* A throughput series: one row per thread count, one column per system. *)
 let series ~title ~x_label ~x_values ~columns =
+  List.iter
+    (fun (column, ys) ->
+      List.iter2
+        (fun x (mean, sd) ->
+          captured :=
+            { figure = !current_figure; series = title; column; x; mean; sd }
+            :: !captured)
+        x_values ys)
+    columns;
   subheading title;
   let headers = x_label :: List.map fst columns in
   let rows =
@@ -63,3 +95,74 @@ let latency_table ~title ~rows =
   table
     ~headers:("operation" :: List.map (fun p -> Printf.sprintf "p%g (us)" p) percentiles)
     ~rows
+
+(* ---- JSON perf trajectory (bench --json) ------------------------------- *)
+
+(* One record per executed experiment: host wall-clock (optionally paired
+   with a recorded baseline run's wall-clock) plus every simulated series
+   the experiment printed. *)
+type figure_timing = {
+  name : string;
+  wall_s : float;
+  baseline_wall_s : float option;
+  sim : sample list;
+}
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_sample s =
+  Printf.sprintf
+    "{\"figure\": \"%s\", \"series\": \"%s\", \"column\": \"%s\", \"x\": %d, \
+     \"mean\": %.6g, \"sd\": %.6g}"
+    (json_escape s.figure) (json_escape s.series) (json_escape s.column) s.x
+    s.mean s.sd
+
+let json_of_figure f =
+  let baseline, speedup =
+    match f.baseline_wall_s with
+    | None -> ("", "")
+    | Some b ->
+        ( Printf.sprintf " \"baseline_wall_s\": %.3f," b,
+          if f.wall_s > 0.0 then
+            Printf.sprintf " \"speedup\": %.2f," (b /. f.wall_s)
+          else "" )
+  in
+  Printf.sprintf
+    "    {\"name\": \"%s\", \"wall_s\": %.3f,%s%s \"sim\": [\n%s\n    ]}"
+    (json_escape f.name) f.wall_s baseline speedup
+    (String.concat ",\n"
+       (List.map (fun s -> "      " ^ json_of_sample s) f.sim))
+
+(* Render the whole trajectory document. [label] names the run (e.g. the PR),
+   [scale] the workload scale ("quick" / "full"). *)
+let json_of_run ~label ~scale ~total_wall_s ~baseline_total_wall_s figures =
+  let baseline_total =
+    match baseline_total_wall_s with
+    | None -> ""
+    | Some b ->
+        Printf.sprintf "  \"baseline_total_wall_s\": %.3f,\n  \"overall_speedup\": %.2f,\n"
+          b
+          (if total_wall_s > 0.0 then b /. total_wall_s else 0.0)
+  in
+  Printf.sprintf
+    "{\n  \"label\": \"%s\",\n  \"scale\": \"%s\",\n  \"total_wall_s\": %.3f,\n%s  \"figures\": [\n%s\n  ]\n}\n"
+    (json_escape label) (json_escape scale) total_wall_s baseline_total
+    (String.concat ",\n" (List.map json_of_figure figures))
+
+let write_json ~path ~label ~scale ~total_wall_s ~baseline_total_wall_s figures =
+  let oc = open_out path in
+  output_string oc
+    (json_of_run ~label ~scale ~total_wall_s ~baseline_total_wall_s figures);
+  close_out oc

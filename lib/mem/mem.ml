@@ -88,6 +88,16 @@ let local_pool t ~tid =
 
 (* ---- RIV resolution --------------------------------------------------- *)
 
+(* Cold path of [resolve]: a DRAM cache miss rebuilds the entry from the
+   persistent registry (deferred recovery of the address cache). Out of
+   line so the per-access hot path below stays small and straight-line —
+   [resolve] runs once per simulated field access. *)
+let rebuild_chunk_base t ~pool cache chunk =
+  let b = Pmem.peek t.pmem (Pmem.addr ~pool ~word:(registry_start + chunk)) - 1 in
+  if b < 0 then invalid_arg "Mem.resolve: unregistered chunk";
+  cache.(chunk) <- b;
+  b
+
 (* Chunk 0 addresses the static root area with pool-absolute offsets. *)
 let resolve t p =
   if Riv.is_null p then invalid_arg "Mem.resolve: null pointer";
@@ -95,18 +105,8 @@ let resolve t p =
   if chunk = 0 then Pmem.addr ~pool ~word:off
   else begin
     let cache = t.chunk_cache.(pool) in
-    let base =
-      let b = cache.(chunk) in
-      if b >= 0 then b
-      else begin
-        (* DRAM cache miss: rebuild the entry from the persistent registry
-           (deferred recovery of the address cache). *)
-        let b = Pmem.peek t.pmem (Pmem.addr ~pool ~word:(registry_start + chunk)) - 1 in
-        if b < 0 then invalid_arg "Mem.resolve: unregistered chunk";
-        cache.(chunk) <- b;
-        b
-      end
-    in
+    let b = cache.(chunk) in
+    let base = if b >= 0 then b else rebuild_chunk_base t ~pool cache chunk in
     Pmem.addr ~pool ~word:(base + off)
   end
 

@@ -59,6 +59,7 @@ type counters = {
   mutable loads : int;
   mutable load_misses : int;
   mutable stores : int;
+  mutable store_misses : int;
   mutable cas_ops : int;
   mutable cas_failures : int;
   mutable flushes : int;
@@ -73,6 +74,7 @@ let fresh_counters () =
     loads = 0;
     load_misses = 0;
     stores = 0;
+    store_misses = 0;
     cas_ops = 0;
     cas_failures = 0;
     flushes = 0;
@@ -87,11 +89,24 @@ type t = {
   pools : pool array;
   read_free_at : float array;  (* per NUMA node: controller read channel *)
   write_free_at : float array;  (* per NUMA node: controller write channel *)
-  caches : (int, int array) Hashtbl.t;  (* tid -> direct-mapped tag array *)
+  mutable caches : int array array;
+      (* tid -> direct-mapped tag array, grown on demand ([||] = absent) *)
   rng : Sim.Rng.t;
+  jitter_on : bool;  (* precomputed: config.latency.jitter <> 0.0 *)
+  jitter_lo : float;  (* 1 - jitter *)
+  jitter_span : float;  (* 2 * jitter *)
   counters : counters;
   mutable crash_count : int;
-  mutable last_now : float;
+  (* Hot-path timing state lives in one-cell float arrays (flat storage):
+     storing to a mutable float field of this mixed record would box on
+     every operation. [now_cell]/[lat_cell] are shared with the scheduler
+     as [machine.clock]/[machine.latency]. *)
+  now_cell : float array;
+  lat_cell : float array;
+  last_now : float array;
+  slot_mask : int;
+      (* cache_lines - 1 when cache_lines is a power of two (slot mod
+         becomes a mask — no hardware division per access), 0 otherwise *)
 }
 
 let create config =
@@ -104,16 +119,25 @@ let create config =
       dirty = Bytes.make ((config.pool_words / line_words) + 1) '\000';
     }
   in
+  let j = config.latency.Latency.jitter in
   {
     config;
     pools = Array.init config.n_pools make_pool;
     read_free_at = Array.make config.numa_nodes 0.0;
     write_free_at = Array.make config.numa_nodes 0.0;
-    caches = Hashtbl.create 64;
+    caches = [||];
     rng = Sim.Rng.create config.seed;
+    jitter_on = j <> 0.0;
+    jitter_lo = 1.0 -. j;
+    jitter_span = 2.0 *. j;
     counters = fresh_counters ();
     crash_count = 0;
-    last_now = 0.0;
+    now_cell = Array.make 1 0.0;
+    lat_cell = Array.make 1 0.0;
+    last_now = Array.make 1 0.0;
+    slot_mask =
+      (let n = config.cache_lines in
+       if n > 0 && n land (n - 1) = 0 then n - 1 else 0);
   }
 
 let addr ~pool ~word =
@@ -140,10 +164,15 @@ let thread_node t tid = tid mod t.config.numa_nodes
 
 (* ---- timing model ---------------------------------------------------- *)
 
-let jittered t base =
-  let j = t.config.latency.jitter in
-  if j = 0.0 then base
-  else base *. (1.0 -. j +. (2.0 *. j *. Sim.Rng.float t.rng))
+(* Store [base] — with multiplicative jitter when enabled — into the latency
+   cell the scheduler reads. [jitter_on]/[jitter_lo]/[jitter_span] are fixed
+   at [create] so the jitter-off case costs one boolean test and never draws
+   from the RNG; writing a flat float cell instead of returning keeps the
+   result unboxed. *)
+let put_jittered t base =
+  Array.unsafe_set t.lat_cell 0
+    (if not t.jitter_on then base
+     else base *. (t.jitter_lo +. (t.jitter_span *. Sim.Rng.float t.rng)))
 
 let numa_factor t ~tid a =
   if home_node t a = thread_node t tid then 1.0
@@ -152,58 +181,72 @@ let numa_factor t ~tid a =
     t.config.latency.remote_multiplier
   end
 
+(* Cold path of [cache_access]: grow the tid-indexed table if needed and
+   install a fresh tag array for this thread. *)
+let install_cache t tid =
+  if tid >= Array.length t.caches then begin
+    let n = Array.length t.caches in
+    let grown = Array.make (max (tid + 1) (max 16 (2 * n))) [||] in
+    Array.blit t.caches 0 grown 0 n;
+    t.caches <- grown
+  end;
+  let tags = Array.make t.config.cache_lines (-1) in
+  t.caches.(tid) <- tags;
+  tags
+
 (* Per-thread direct-mapped cache, timing only. Returns true on hit and
-   installs the line otherwise. *)
+   installs the line otherwise. Runs on every simulated access, so the tag
+   array comes from a flat tid-indexed array rather than a hash table. *)
 let cache_access t ~tid a =
   let tags =
-    match Hashtbl.find_opt t.caches tid with
-    | Some tags -> tags
-    | None ->
-        let tags = Array.make t.config.cache_lines (-1) in
-        Hashtbl.add t.caches tid tags;
-        tags
+    if tid < Array.length t.caches then begin
+      let tags = t.caches.(tid) in
+      if Array.length tags <> 0 then tags else install_cache t tid
+    end
+    else install_cache t tid
   in
   let line = line_of_addr a in
   (* hash the line to its slot so no particular data layout aliases
-     systematically (fibonacci hashing) *)
+     systematically (fibonacci hashing); the mask shortcut computes exactly
+     [h mod cache_lines] for power-of-two sizes, without the division *)
+  let h = (line * 0x2545F4914F6CDD1D) land max_int in
   let slot =
-    (line * 0x2545F4914F6CDD1D) land max_int mod t.config.cache_lines
+    if t.slot_mask <> 0 then h land t.slot_mask else h mod t.config.cache_lines
   in
-  if tags.(slot) = line then true
+  (* [slot < cache_lines = Array.length tags] by construction, so the
+     bounds check is elided *)
+  if Array.unsafe_get tags slot = line then true
   else begin
-    tags.(slot) <- line;
+    Array.unsafe_set tags slot line;
     false
   end
 
 (* Invalidate a line in every thread's timing cache (used when a flush
    behaves like CLFLUSHOPT, and on crash). *)
 let invalidate_all_caches t =
-  Hashtbl.iter (fun _ tags -> Array.fill tags 0 (Array.length tags) (-1)) t.caches
+  Array.iter (fun tags -> Array.fill tags 0 (Array.length tags) (-1)) t.caches
 
+(* [node] is a NUMA node id, always < numa_nodes = Array.length free_at. *)
 let queue_delay free_at node ~now ~service =
-  let start = if free_at.(node) > now then free_at.(node) else now in
-  free_at.(node) <- start +. service;
+  let free = Array.unsafe_get free_at node in
+  let start = if free > now then free else now in
+  Array.unsafe_set free_at node (start +. service);
   start -. now
 
-let load_latency t ~tid ~now a =
+(* Shared load/store timing, written into the latency cell: stores complete
+   into the cache, and a store miss still fetches the line through the read
+   channel — only the miss counter differs. *)
+let put_access_latency t ~tid ~store a =
   let lat = t.config.latency in
-  if cache_access t ~tid a then jittered t lat.cache_hit_ns
+  if cache_access t ~tid a then put_jittered t lat.cache_hit_ns
   else begin
-    t.counters.load_misses <- t.counters.load_misses + 1;
+    let c = t.counters in
+    if store then c.store_misses <- c.store_misses + 1
+    else c.load_misses <- c.load_misses + 1;
+    let now = Array.unsafe_get t.now_cell 0 in
     let node = home_node t a in
     let q = queue_delay t.read_free_at node ~now ~service:lat.read_service_ns in
-    jittered t ((lat.pmem_read_ns *. numa_factor t ~tid a) +. q)
-  end
-
-let store_latency t ~tid ~now a =
-  let lat = t.config.latency in
-  (* Stores complete into the cache; a miss still fetches the line. *)
-  if cache_access t ~tid a then jittered t lat.cache_hit_ns
-  else begin
-    t.counters.load_misses <- t.counters.load_misses + 1;
-    let node = home_node t a in
-    let q = queue_delay t.read_free_at node ~now ~service:lat.read_service_ns in
-    jittered t ((lat.pmem_read_ns *. numa_factor t ~tid a) +. q)
+    put_jittered t ((lat.pmem_read_ns *. numa_factor t ~tid a) +. q)
   end
 
 (* ---- functional operations ------------------------------------------- *)
@@ -211,92 +254,94 @@ let store_latency t ~tid ~now a =
 let mark_dirty p word = Bytes.set p.dirty (word / line_words) '\001'
 let line_dirty p word = Bytes.get p.dirty (word / line_words) = '\001'
 
-let read t ~tid ~now a =
+(* Each Sched.run restarts the virtual clock at zero; the bandwidth queues
+   hold absolute times, so a clock regression marks a new run and the
+   controller backlog is cleared. Called at the top of every operation
+   (rather than from wrapper closures in [machine]) to keep the per-op call
+   chain flat. "Now" comes from the clock cell the scheduler maintains. *)
+let check_new_run t =
+  let now = Array.unsafe_get t.now_cell 0 in
+  if now < Array.unsafe_get t.last_now 0 then begin
+    Array.fill t.read_free_at 0 (Array.length t.read_free_at) 0.0;
+    Array.fill t.write_free_at 0 (Array.length t.write_free_at) 0.0
+  end;
+  Array.unsafe_set t.last_now 0 now
+
+let read t ~tid a =
+  check_new_run t;
   t.counters.loads <- t.counters.loads + 1;
   t.counters.accesses <- t.counters.accesses + 1;
   let p = get_pool t a in
   let w = word_of a in
-  (p.volatile.(w), load_latency t ~tid ~now a)
+  put_access_latency t ~tid ~store:false a;
+  p.volatile.(w)
 
-let write t ~tid ~now a v =
+let write t ~tid a v =
+  check_new_run t;
   t.counters.stores <- t.counters.stores + 1;
   t.counters.accesses <- t.counters.accesses + 1;
   let p = get_pool t a in
   let w = word_of a in
   p.volatile.(w) <- v;
   mark_dirty p w;
-  store_latency t ~tid ~now a
+  put_access_latency t ~tid ~store:true a
 
-let cas t ~tid ~now a expected desired =
+let cas t ~tid a expected desired =
+  check_new_run t;
   t.counters.cas_ops <- t.counters.cas_ops + 1;
   t.counters.accesses <- t.counters.accesses + 1;
   let p = get_pool t a in
   let w = word_of a in
-  let lat = store_latency t ~tid ~now a +. t.config.latency.cas_extra_ns in
+  put_access_latency t ~tid ~store:true a;
+  Array.unsafe_set t.lat_cell 0
+    (Array.unsafe_get t.lat_cell 0 +. t.config.latency.cas_extra_ns);
   if p.volatile.(w) = expected then begin
     p.volatile.(w) <- desired;
     mark_dirty p w;
-    (true, lat)
+    true
   end
   else begin
     t.counters.cas_failures <- t.counters.cas_failures + 1;
-    (false, lat)
+    false
   end
 
 (* Write the line containing [a] back to the persistence domain. *)
-let flush t ~tid ~now a =
+let flush t ~tid a =
+  check_new_run t;
   t.counters.flushes <- t.counters.flushes + 1;
   let p = get_pool t a in
   let w = word_of a in
   let lat = t.config.latency in
-  if not (line_dirty p w) then jittered t lat.clean_flush_ns
+  if not (line_dirty p w) then put_jittered t lat.clean_flush_ns
   else begin
     t.counters.dirty_flushes <- t.counters.dirty_flushes + 1;
     let base = w / line_words * line_words in
     let upto = min (base + line_words) (Array.length p.volatile) in
     Array.blit p.volatile base p.persistent base (upto - base);
     Bytes.set p.dirty (w / line_words) '\000';
+    let now = Array.unsafe_get t.now_cell 0 in
     let node = home_node t a in
     let q = queue_delay t.write_free_at node ~now ~service:lat.write_service_ns in
-    jittered t ((lat.write_persist_ns *. numa_factor t ~tid a) +. q)
+    put_jittered t ((lat.write_persist_ns *. numa_factor t ~tid a) +. q)
   end
 
-let fence t ~tid:_ ~now:_ =
+let fence t ~tid:_ =
+  check_new_run t;
   t.counters.fences <- t.counters.fences + 1;
-  jittered t t.config.latency.fence_ns
+  put_jittered t t.config.latency.fence_ns
 
-(* Each Sched.run restarts the virtual clock at zero; the bandwidth queues
-   hold absolute times, so a clock regression marks a new run and the
-   controller backlog is cleared. *)
-let check_new_run t ~now =
-  if now < t.last_now then begin
-    Array.fill t.read_free_at 0 (Array.length t.read_free_at) 0.0;
-    Array.fill t.write_free_at 0 (Array.length t.write_free_at) 0.0
-  end;
-  t.last_now <- now
-
+(* The ops already handle run-restart detection themselves, so the machine
+   record is plain partial applications — no per-op wrapper closures. The
+   clock and latency cells are shared with the scheduler directly. *)
 let machine t : Sim.Sched.machine =
   {
-    read =
-      (fun ~tid ~now a ->
-        check_new_run t ~now;
-        read t ~tid ~now a);
-    write =
-      (fun ~tid ~now a v ->
-        check_new_run t ~now;
-        write t ~tid ~now a v);
-    cas =
-      (fun ~tid ~now a e d ->
-        check_new_run t ~now;
-        cas t ~tid ~now a e d);
-    flush =
-      (fun ~tid ~now a ->
-        check_new_run t ~now;
-        flush t ~tid ~now a);
-    fence =
-      (fun ~tid ~now ->
-        check_new_run t ~now;
-        fence t ~tid ~now);
+    read = read t;
+    write = write t;
+    cas = cas t;
+    flush = flush t;
+    fence = fence t;
+    clock = t.now_cell;
+    latency = t.lat_cell;
   }
 
 (* ---- crash and recovery ---------------------------------------------- *)
@@ -359,6 +404,7 @@ let reset_counters t =
   c.loads <- 0;
   c.load_misses <- 0;
   c.stores <- 0;
+  c.store_misses <- 0;
   c.cas_ops <- 0;
   c.cas_failures <- 0;
   c.flushes <- 0;

@@ -52,6 +52,9 @@ type counters = {
   mutable loads : int;
   mutable load_misses : int;
   mutable stores : int;
+  mutable store_misses : int;
+      (** stores (and CASes) that missed the timing cache — counted apart
+          from [load_misses] *)
   mutable cas_ops : int;
   mutable cas_failures : int;
   mutable flushes : int;

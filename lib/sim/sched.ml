@@ -1,28 +1,63 @@
 (* Deterministic discrete-event scheduler for simulated threads.
 
    Each simulated thread is an OCaml-5 effects fiber. Every persistent-memory
-   primitive (read / write / CAS / flush / fence) is performed as an effect;
-   the handler applies the operation to the simulated machine immediately (the
-   primitive's atomicity point), charges its simulated latency, and parks the
-   fiber until its virtual clock catches up. The scheduler always resumes the
-   fiber with the smallest virtual wake-up time, so primitives from different
-   fibers interleave exactly as their simulated timings dictate — CAS
-   failures, lock contention and helping all arise from genuine interleaving,
+   primitive (read / write / CAS / flush / fence) applies its operation to
+   the simulated machine immediately (the primitive's atomicity point),
+   charges its simulated latency, and parks the fiber until its virtual
+   clock catches up. The scheduler always resumes the fiber with the
+   smallest virtual wake-up time, so primitives from different fibers
+   interleave exactly as their simulated timings dictate — CAS failures,
+   lock contention and helping all arise from genuine interleaving,
    reproducibly, on a single host core.
 
+   Fast path: when the fiber that just performed a primitive would wake up
+   strictly before every parked fiber, no fiber switch happens at all — the
+   common case, since most accesses are cache hits with nanosecond-scale
+   latencies. The primitive then runs as a plain (inline) function call: it
+   applies the machine op, bumps the virtual clock, and returns, never
+   capturing a continuation. Only when the fiber must actually yield (its
+   wake-up is not the strict minimum) does it perform a [Park] effect and go
+   through the heap. This matters because a full effect suspend/resume costs
+   ~4x a plain call (measured in bench/events_per_sec.ml). Crash points are
+   checked on the inline path exactly as on the heap path, so simulated
+   time, event counts and crash behaviour are bit-identical with the fast
+   path on or off (see test/test_sched_fastpath.ml).
+
+   With [fast_path:false] every primitive is performed as an effect and
+   scheduled through the heap — the reference implementation the regression
+   test compares against.
+
+   Allocation discipline: the inline path runs once per simulated memory
+   access — hundreds of millions of times per benchmark — so it avoids
+   boxing floats. The virtual clock and the per-op latency live in one-cell
+   float arrays shared with the machine ([machine.clock] /
+   [machine.latency]) rather than being passed as (boxed) arguments and
+   returns, and the wait queue stores wake-up times in a flat float array
+   instead of records.
+
    Crashes: when the configured crash point (an event count or a virtual
-   time) is reached, all parked fibers are discontinued with [Crashed] and
-   the run stops. The machine's unflushed cache lines are dropped separately
-   by the memory model (see Pmem). *)
+   time) is reached, the running fiber is unwound with [Crashed] (raised
+   inline, or via discontinue when parked) and every parked fiber is
+   discontinued; the run then stops. The machine's unflushed cache lines are
+   dropped separately by the memory model (see Pmem). *)
 
 type addr = int
 
+(* The simulated machine. Ops return only their functional result; timing
+   flows through the two shared cells:
+     - [clock.(0)]: current virtual time, written by the scheduler before
+       every op (so ops never take a [~now] argument);
+     - [latency.(0)]: simulated nanoseconds of the op just applied, written
+       by the op before returning.
+   One-cell [float array]s are flat, so neither direction boxes. *)
 type machine = {
-  read : tid:int -> now:float -> addr -> int * float;
-  write : tid:int -> now:float -> addr -> int -> float;
-  cas : tid:int -> now:float -> addr -> int -> int -> bool * float;
-  flush : tid:int -> now:float -> addr -> float;
-  fence : tid:int -> now:float -> float;
+  read : tid:int -> addr -> int;
+  write : tid:int -> addr -> int -> unit;
+  cas : tid:int -> addr -> int -> int -> bool;
+  flush : tid:int -> addr -> unit;
+  fence : tid:int -> unit;
+  clock : float array;  (* cell 0: virtual now, maintained by the scheduler *)
+  latency : float array;  (* cell 0: ns charged by the last op *)
 }
 
 type _ Effect.t +=
@@ -35,142 +70,370 @@ type _ Effect.t +=
   | Now : float Effect.t
   | Self : int Effect.t
 
+(* Internal: yield until the wake-up time deposited in the run state's
+   [park_wake] cell (the op itself already ran inline). A constant
+   constructor so performing it allocates nothing. *)
+type _ Effect.t += Park : unit Effect.t
+
 exception Crashed
 
-(* Convenience wrappers used by all simulated algorithms. *)
-let read a = Effect.perform (Read a)
-let write a v = Effect.perform (Write (a, v))
-let cas a ~expected ~desired = Effect.perform (Cas (a, expected, desired))
-let flush a = Effect.perform (Flush a)
-let fence () = Effect.perform Fence
-let charge ns = Effect.perform (Charge ns)
-let now () = Effect.perform Now
-let self () = Effect.perform Self
-let yield () = Effect.perform (Charge 15.0)
-
 type outcome =
-  | Completed of { time : float; events : int }
+  | Completed of { time : float; events : int; fibers : int }
   | Crashed_at of { time : float; events : int }
 
-(* Binary min-heap on (time, seq). [seq] breaks ties deterministically in
-   insertion order. *)
+(* A parked fiber: the captured continuation together with the
+   already-computed result to resume it with. Storing the continuation
+   directly (instead of a [run]/[kill] closure pair) keeps a park at one
+   small allocation. A fiber is parked at most once at a time, so waiters
+   live in a tid-indexed side array ([run_state.waiters]) and the event heap
+   carries only the tid — its sift loops then touch exclusively flat
+   float/int arrays and never pay a GC write barrier. *)
+type waiter =
+  | Not_parked
+  | Start of (unit -> unit)  (* fiber not launched yet *)
+  | Ret_unit of (unit, unit) Effect.Deep.continuation
+  | Ret_int of (int, unit) Effect.Deep.continuation * int
+  | Ret_bool of (bool, unit) Effect.Deep.continuation * bool
+
+let resume_waiter = function
+  | Not_parked -> assert false
+  | Start f -> f ()
+  | Ret_unit k -> Effect.Deep.continue k ()
+  | Ret_int (k, v) -> Effect.Deep.continue k v
+  | Ret_bool (k, b) -> Effect.Deep.continue k b
+
+let kill_waiter = function
+  | Not_parked | Start _ -> ()  (* never ran; nothing to unwind *)
+  | Ret_unit k -> Effect.Deep.discontinue k Crashed
+  | Ret_int (k, _) -> Effect.Deep.discontinue k Crashed
+  | Ret_bool (k, _) -> Effect.Deep.discontinue k Crashed
+
+(* Binary min-heap on (time, seq), stored as parallel flat arrays: wake-up
+   times in a [float array] (unboxed), tie-break sequence numbers and fiber
+   tids alongside. [seq] breaks ties deterministically in insertion order. *)
 module Heap = struct
-  type entry = { time : float; seq : int; run : unit -> unit; kill : unit -> unit }
+  type t = {
+    mutable times : float array;
+    mutable seqs : int array;
+    mutable tids : int array;
+    mutable len : int;
+  }
 
-  type t = { mutable a : entry array; mutable len : int }
+  let create () =
+    {
+      times = Array.make 64 0.0;
+      seqs = Array.make 64 0;
+      tids = Array.make 64 (-1);
+      len = 0;
+    }
 
-  let dummy = { time = 0.0; seq = 0; run = ignore; kill = ignore }
-  let create () = { a = Array.make 64 dummy; len = 0 }
+  (* Only valid when [len > 0]. A fresh push always gets the largest [seq],
+     so a wake-up time strictly below [min_time] is strictly the minimum. *)
+  let min_time t = Array.unsafe_get t.times 0
 
-  let less x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+  (* Indices below are always < len <= capacity, so accesses use the
+     unchecked primitives; sift loops move the hole instead of swapping
+     (one write per visited level per array instead of three). *)
 
-  let push t e =
-    if t.len = Array.length t.a then begin
-      let bigger = Array.make (2 * t.len) dummy in
-      Array.blit t.a 0 bigger 0 t.len;
-      t.a <- bigger
-    end;
-    t.a.(t.len) <- e;
+  let grow t =
+    let n = 2 * t.len in
+    let times = Array.make n 0.0 in
+    Array.blit t.times 0 times 0 t.len;
+    t.times <- times;
+    let seqs = Array.make n 0 in
+    Array.blit t.seqs 0 seqs 0 t.len;
+    t.seqs <- seqs;
+    let tids = Array.make n (-1) in
+    Array.blit t.tids 0 tids 0 t.len;
+    t.tids <- tids
+
+  let push t time seq tid =
+    if t.len = Array.length t.times then grow t;
+    let times = t.times and seqs = t.seqs and tids = t.tids in
+    let i = ref t.len in
     t.len <- t.len + 1;
-    let i = ref (t.len - 1) in
-    while !i > 0 && less t.a.(!i) t.a.((!i - 1) / 2) do
+    let sifting = ref true in
+    while !sifting && !i > 0 do
       let p = (!i - 1) / 2 in
-      let tmp = t.a.(p) in
-      t.a.(p) <- t.a.(!i);
-      t.a.(!i) <- tmp;
-      i := p
-    done
+      let pt = Array.unsafe_get times p in
+      if time < pt || (time = pt && seq < Array.unsafe_get seqs p) then begin
+        Array.unsafe_set times !i pt;
+        Array.unsafe_set seqs !i (Array.unsafe_get seqs p);
+        Array.unsafe_set tids !i (Array.unsafe_get tids p);
+        i := p
+      end
+      else sifting := false
+    done;
+    Array.unsafe_set times !i time;
+    Array.unsafe_set seqs !i seq;
+    Array.unsafe_set tids !i tid
 
-  let pop t =
-    if t.len = 0 then None
-    else begin
-      let top = t.a.(0) in
-      t.len <- t.len - 1;
-      t.a.(0) <- t.a.(t.len);
-      t.a.(t.len) <- dummy;
+  (* Remove and return the tid of the minimum entry. Only valid when
+     [len > 0]; the caller reads [min_time] first for the wake-up time. *)
+  let pop_min t =
+    let times = t.times and seqs = t.seqs and tids = t.tids in
+    let tid0 = Array.unsafe_get tids 0 in
+    let n = t.len - 1 in
+    t.len <- n;
+    (* last entry, to be re-seated along the min path *)
+    let time = Array.unsafe_get times n in
+    let seq = Array.unsafe_get seqs n in
+    let tid = Array.unsafe_get tids n in
+    if n > 0 then begin
       let i = ref 0 in
-      let continue_loop = ref true in
-      while !continue_loop do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.len && less t.a.(l) t.a.(!smallest) then smallest := l;
-        if r < t.len && less t.a.(r) t.a.(!smallest) then smallest := r;
-        if !smallest = !i then continue_loop := false
+      let sifting = ref true in
+      while !sifting do
+        let l = (2 * !i) + 1 in
+        if l >= n then sifting := false
         else begin
-          let tmp = t.a.(!smallest) in
-          t.a.(!smallest) <- t.a.(!i);
-          t.a.(!i) <- tmp;
-          i := !smallest
+          let r = l + 1 in
+          let c =
+            if r < n then begin
+              let lt = Array.unsafe_get times l
+              and rt = Array.unsafe_get times r in
+              if
+                rt < lt
+                || (rt = lt && Array.unsafe_get seqs r < Array.unsafe_get seqs l)
+              then r
+              else l
+            end
+            else l
+          in
+          let ct = Array.unsafe_get times c in
+          if ct < time || (ct = time && Array.unsafe_get seqs c < seq) then begin
+            Array.unsafe_set times !i ct;
+            Array.unsafe_set seqs !i (Array.unsafe_get seqs c);
+            Array.unsafe_set tids !i (Array.unsafe_get tids c);
+            i := c
+          end
+          else sifting := false
         end
       done;
-      Some top
-    end
+      Array.unsafe_set times !i time;
+      Array.unsafe_set seqs !i seq;
+      Array.unsafe_set tids !i tid
+    end;
+    tid0
 end
 
 type crash_point = No_crash | After_events of int | At_time of float
 
-let run ?(crash = No_crash) ~machine bodies =
-  let heap = Heap.create () in
-  let clock = ref 0.0 in
-  let events = ref 0 in
-  let seq = ref 0 in
-  let crashed = ref false in
-  let crash_due () =
-    match crash with
-    | No_crash -> false
-    | After_events n -> !events >= n
-    | At_time t -> !clock >= t
+(* State of the run in progress. A module-level slot (set for the duration
+   of [run], single-threaded host) lets the primitive wrappers below run
+   inline instead of performing an effect per call. *)
+type run_state = {
+  machine : machine;
+  clock : float array;  (* == machine.clock *)
+  latency : float array;  (* == machine.latency *)
+  heap : Heap.t;
+  waiters : waiter array;  (* tid-indexed; a fiber parks at most once *)
+  park_wake : float array;  (* cell 0: wake-up time for a pending [Park] *)
+  crash : crash_point;
+  fast_path : bool;
+  mutable events : int;
+  mutable seq : int;
+  mutable crashed : bool;
+  mutable current_tid : int;  (* tid of the fiber currently executing *)
+  mutable finished : int;
+}
+
+let current : run_state option ref = ref None
+
+(* Cell accesses below use the unchecked primitives: [run] validates that
+   both machine cells have an index 0 before anything touches them, and
+   [park_wake] is created in-module with length 1. *)
+
+let crash_due st =
+  match st.crash with
+  | No_crash -> false
+  | After_events n -> st.events >= n
+  | At_time t -> Array.unsafe_get st.clock 0 >= t
+
+(* Advance virtual time past the op whose latency the machine just wrote to
+   [st.latency.(0)]: bump the clock in place when this fiber would wake
+   strictly before every parked one, yield through the heap ([Park]) when it
+   would not. Raises [Crashed] (unwinding the calling fiber, exactly like a
+   discontinue at this point) when the crash point fires. *)
+let inline_settle st =
+  st.events <- st.events + 1;
+  if st.crashed || crash_due st then begin
+    st.crashed <- true;
+    raise Crashed
+  end;
+  let wake = Array.unsafe_get st.clock 0 +. Array.unsafe_get st.latency 0 in
+  if st.heap.Heap.len = 0 || wake < Heap.min_time st.heap then begin
+    Array.unsafe_set st.clock 0 wake;
+    if crash_due st then begin
+      st.crashed <- true;
+      raise Crashed
+    end
+  end
+  else begin
+    Array.unsafe_set st.park_wake 0 wake;
+    Effect.perform Park
+  end
+
+(* Primitive wrappers — what algorithm code calls. Inline (no effect, no
+   continuation capture) whenever a fast-path run is active; effects
+   otherwise, i.e. under [fast_path:false] or outside [run] (where the
+   perform raises [Effect.Unhandled], as before). *)
+
+let read a =
+  match !current with
+  | Some st when st.fast_path ->
+      let v = st.machine.read ~tid:st.current_tid a in
+      inline_settle st;
+      v
+  | _ -> Effect.perform (Read a)
+
+let write a v =
+  match !current with
+  | Some st when st.fast_path ->
+      st.machine.write ~tid:st.current_tid a v;
+      inline_settle st
+  | _ -> Effect.perform (Write (a, v))
+
+let cas a ~expected ~desired =
+  match !current with
+  | Some st when st.fast_path ->
+      let ok = st.machine.cas ~tid:st.current_tid a expected desired in
+      inline_settle st;
+      ok
+  | _ -> Effect.perform (Cas (a, expected, desired))
+
+let flush a =
+  match !current with
+  | Some st when st.fast_path ->
+      st.machine.flush ~tid:st.current_tid a;
+      inline_settle st
+  | _ -> Effect.perform (Flush a)
+
+let fence () =
+  match !current with
+  | Some st when st.fast_path ->
+      st.machine.fence ~tid:st.current_tid;
+      inline_settle st
+  | _ -> Effect.perform Fence
+
+let charge ns =
+  match !current with
+  | Some st when st.fast_path ->
+      Array.unsafe_set st.latency 0 ns;
+      inline_settle st
+  | _ -> Effect.perform (Charge ns)
+
+(* [now]/[self] charge nothing and never yield, so they are pure state reads
+   whenever a run is active (either path — the handler would return exactly
+   these values). *)
+let now () =
+  match !current with
+  | Some st -> Array.unsafe_get st.clock 0
+  | None -> Effect.perform Now
+
+let self () =
+  match !current with
+  | Some st -> st.current_tid
+  | None -> Effect.perform Self
+
+let yield () = charge 15.0
+
+let run ?(crash = No_crash) ?(fast_path = true) ~(machine : machine) bodies =
+  if Array.length machine.clock = 0 || Array.length machine.latency = 0 then
+    invalid_arg "Sched.run: machine.clock and machine.latency need a cell 0";
+  let max_tid =
+    List.fold_left
+      (fun m (tid, _) ->
+        if tid < 0 then invalid_arg "Sched.run: negative tid";
+        max m tid)
+      (-1) bodies
   in
-  let park time run kill =
-    incr seq;
-    Heap.push heap { time; seq = !seq; run; kill }
+  let st =
+    {
+      machine;
+      clock = machine.clock;
+      latency = machine.latency;
+      heap = Heap.create ();
+      waiters = Array.make (max_tid + 1) Not_parked;
+      park_wake = Array.make 1 0.0;
+      crash;
+      fast_path;
+      events = 0;
+      seq = 0;
+      crashed = false;
+      current_tid = -1;
+      finished = 0;
+    }
+  in
+  st.clock.(0) <- 0.0;
+  let park time tid w =
+    (* [tid <= max_tid] for every caller, so the bounds check is elided *)
+    Array.unsafe_set st.waiters tid w;
+    st.seq <- st.seq + 1;
+    Heap.push st.heap time st.seq tid
+  in
+  (* Effect-path equivalent of [inline_settle]: charge [latency.(0)] to the
+     fiber suspended in [w] and park it until its wake-up time. Only
+     reachable under [fast_path:false] (a fast-path run never performs the
+     primitive effects — the wrappers run inline), so this is the reference
+     semantics the regression test compares against. Crash points are
+     honoured identically on both paths. *)
+  let settle tid w =
+    st.events <- st.events + 1;
+    if st.crashed || crash_due st then begin
+      st.crashed <- true;
+      kill_waiter w
+    end
+    else
+      park (Array.unsafe_get st.clock 0 +. Array.unsafe_get st.latency 0) tid w
   in
   (* The handler needs the fiber's tid, so fibers are launched through a
      per-tid [match_with] below rather than via a shared handler value. *)
-  let finished = ref 0 in
   let launch (tid, body) =
     let open Effect.Deep in
-    let park_result (type a) (k : (a, unit) continuation) (result : a) latency =
-      incr events;
-      if !crashed || crash_due () then begin
-        crashed := true;
-        discontinue k Crashed
-      end
-      else
-        park (!clock +. latency)
-          (fun () -> continue k result)
-          (fun () -> discontinue k Crashed)
+    (* [Park] is the only effect a fast-path run performs, once per genuine
+       yield; its handler is built once per fiber here instead of allocating
+       a fresh closure (and [Some]) on every park. *)
+    let on_park (k : (unit, unit) continuation) =
+      (* the op already ran inline; just yield until the deposited
+         wake-up time *)
+      park (Array.unsafe_get st.park_wake 0) tid (Ret_unit k)
     in
+    let some_on_park = Some on_park in
     let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
       fun eff ->
         match eff with
+        | Park -> some_on_park
         | Read a ->
             Some
               (fun k ->
-                let v, lat = machine.read ~tid ~now:!clock a in
-                park_result k v lat)
+                let v = machine.read ~tid a in
+                settle tid (Ret_int (k, v)))
         | Write (a, v) ->
             Some
               (fun k ->
-                let lat = machine.write ~tid ~now:!clock a v in
-                park_result k () lat)
+                machine.write ~tid a v;
+                settle tid (Ret_unit k))
         | Cas (a, expected, desired) ->
             Some
               (fun k ->
-                let ok, lat = machine.cas ~tid ~now:!clock a expected desired in
-                park_result k ok lat)
+                let ok = machine.cas ~tid a expected desired in
+                settle tid (Ret_bool (k, ok)))
         | Flush a ->
             Some
               (fun k ->
-                let lat = machine.flush ~tid ~now:!clock a in
-                park_result k () lat)
+                machine.flush ~tid a;
+                settle tid (Ret_unit k))
         | Fence ->
             Some
               (fun k ->
-                let lat = machine.fence ~tid ~now:!clock in
-                park_result k () lat)
-        | Charge ns -> Some (fun k -> park_result k () ns)
-        | Now -> Some (fun k -> continue k !clock)
+                machine.fence ~tid;
+                settle tid (Ret_unit k))
+        | Charge ns ->
+            Some
+              (fun k ->
+                st.latency.(0) <- ns;
+                settle tid (Ret_unit k))
+        | Now -> Some (fun k -> continue k st.clock.(0))
         | Self -> Some (fun k -> continue k tid)
         | _ -> None
     in
@@ -179,40 +442,68 @@ let run ?(crash = No_crash) ~machine bodies =
         (fun () -> body ~tid)
         ()
         {
-          retc = (fun () -> incr finished);
+          retc = (fun () -> st.finished <- st.finished + 1);
           exnc =
             (fun e ->
-              match e with Crashed -> incr finished | e -> raise e);
+              match e with
+              | Crashed -> st.finished <- st.finished + 1
+              | e -> raise e);
           effc;
         }
     in
+    (match st.waiters.(tid) with
+    | Not_parked -> ()
+    | _ -> invalid_arg "Sched.run: duplicate tid");
     (* Threads begin at staggered times so identical op streams don't move in
        lock-step. *)
-    park (0.1 *. float_of_int tid) start ignore
+    park (0.1 *. float_of_int tid) tid (Start start)
   in
-  List.iter launch bodies;
   let rec loop () =
-    match Heap.pop heap with
-    | None -> ()
-    | Some entry ->
-        if !crashed then begin
-          entry.kill ();
+    if st.heap.Heap.len > 0 then begin
+      let time = Heap.min_time st.heap in
+      let tid = Heap.pop_min st.heap in
+      let w = Array.unsafe_get st.waiters tid in
+      Array.unsafe_set st.waiters tid Not_parked;
+      if st.crashed then begin
+        kill_waiter w;
+        loop ()
+      end
+      else begin
+        Array.unsafe_set st.clock 0 time;
+        if crash_due st then begin
+          st.crashed <- true;
+          kill_waiter w;
           loop ()
         end
         else begin
-          clock := entry.time;
-          if crash_due () then begin
-            crashed := true;
-            entry.kill ();
-            loop ()
-          end
-          else begin
-            entry.run ();
-            loop ()
-          end
+          st.current_tid <- tid;
+          resume_waiter w;
+          loop ()
         end
+      end
+    end
   in
-  loop ();
-  ignore !finished;
-  if !crashed then Crashed_at { time = !clock; events = !events }
-  else Completed { time = !clock; events = !events }
+  let saved = !current in
+  current := Some st;
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () ->
+      List.iter launch bodies;
+      loop ();
+      (if Sys.getenv_opt "SCHED_DEBUG_PARKS" <> None then
+         Printf.eprintf "SCHED_DEBUG events=%d parks=%d inline=%.1f%%\n%!"
+           st.events st.seq
+           (100.0
+           *. float_of_int (st.events - st.seq)
+           /. float_of_int (max 1 st.events)));
+      if st.crashed then Crashed_at { time = st.clock.(0); events = st.events }
+      else begin
+        let fibers = List.length bodies in
+        if st.finished <> fibers then
+          failwith
+            (Printf.sprintf
+               "Sched.run: %d of %d fibers never finished (hung fiber: the \
+                event queue drained while a continuation was still suspended)"
+               (fibers - st.finished) fibers);
+        Completed { time = st.clock.(0); events = st.events; fibers }
+      end)

@@ -11,15 +11,25 @@ type addr = int
     low bits — see [Pmem.addr]). *)
 
 type machine = {
-  read : tid:int -> now:float -> addr -> int * float;
-  write : tid:int -> now:float -> addr -> int -> float;
-  cas : tid:int -> now:float -> addr -> int -> int -> bool * float;
-  flush : tid:int -> now:float -> addr -> float;
-  fence : tid:int -> now:float -> float;
+  read : tid:int -> addr -> int;
+  write : tid:int -> addr -> int -> unit;
+  cas : tid:int -> addr -> int -> int -> bool;
+  flush : tid:int -> addr -> unit;
+  fence : tid:int -> unit;
+  clock : float array;
+  latency : float array;
 }
-(** Memory-system callbacks. Each returns the operation's simulated latency
-    in nanoseconds; [read] and [cas] also return the value / success flag.
-    Operations take effect at invocation time (their atomicity point). *)
+(** Memory-system callbacks. Operations take effect at invocation time
+    (their atomicity point) and return only their functional result; timing
+    flows through the two shared one-cell float arrays (flat storage, so the
+    hot path never boxes a float):
+
+    - [clock.(0)] holds the current virtual time. The scheduler writes it
+      before resuming any fiber, so an op reads "now" from the cell instead
+      of taking a [~now] argument.
+    - [latency.(0)] must be set by every op to its simulated latency in
+      nanoseconds before returning; the scheduler charges it to the calling
+      fiber. *)
 
 type _ Effect.t +=
   | Read : addr -> int Effect.t
@@ -61,16 +71,35 @@ val yield : unit -> unit
 (** Reschedule after a small fixed delay (spin-wait step). *)
 
 type outcome =
-  | Completed of { time : float; events : int }
+  | Completed of { time : float; events : int; fibers : int }
+      (** [fibers] is the number of fibers that ran to completion — always
+          the number launched, or [run] would have raised. *)
   | Crashed_at of { time : float; events : int }
 
 type crash_point = No_crash | After_events of int | At_time of float
 
 val run :
   ?crash:crash_point ->
+  ?fast_path:bool ->
   machine:machine ->
   (int * (tid:int -> unit)) list ->
   outcome
 (** [run ~machine bodies] executes every [(tid, body)] fiber to completion
     (or until the crash point), interleaving by virtual time. Returns the
-    final virtual time and the number of primitive events executed. *)
+    final virtual time and the number of primitive events executed. Tids
+    must be non-negative and pairwise distinct (they index the scheduler's
+    parked-fiber table); [Invalid_argument] otherwise.
+
+    [fast_path] (default [true]) runs a primitive entirely inline — no
+    effect performed, no continuation captured, no heap traffic — whenever
+    the calling fiber would wake up strictly earlier than every parked
+    fiber; it only yields through the event heap when another fiber is due
+    first. With [fast_path:false] every primitive is performed as an effect
+    and scheduled through the heap. This is a wall-clock optimisation only:
+    simulated times, event counts, interleavings and crash points are
+    identical either way (the flag exists so regression tests can compare
+    the two paths).
+
+    On a non-crashed completion every fiber must have finished; if the event
+    queue drains while a fiber is still suspended (a scheduler or workload
+    bug), [run] raises [Failure] instead of silently returning. *)

@@ -10,6 +10,7 @@ type t = {
   zetan : float;
   eta : float;
   zeta2 : float;
+  half_pow_theta : float;  (* 0.5 ** theta, hoisted out of [next_rank] *)
 }
 
 let zeta n theta =
@@ -33,6 +34,7 @@ let create ?(theta = 0.99) ~seed n =
       (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
       /. (1.0 -. (zeta2 /. zetan));
     zeta2;
+    half_pow_theta = Float.pow 0.5 theta;
   }
 
 (* Rank in [0, n): rank 0 is the most popular. *)
@@ -40,7 +42,7 @@ let next_rank t =
   let u = Sim.Rng.float t.rng in
   let uz = u *. t.zetan in
   if uz < 1.0 then 0
-  else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+  else if uz < 1.0 +. t.half_pow_theta then 1
   else
     int_of_float
       (float_of_int t.n *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha)

@@ -25,7 +25,7 @@ let run pmem bodies =
     Sim.Sched.run ~machine:(Pmem.machine pmem)
       (List.mapi (fun tid body -> (tid, body)) bodies)
   with
-  | Sim.Sched.Completed { time; events } -> (time, events)
+  | Sim.Sched.Completed { time; events; _ } -> (time, events)
   | Sim.Sched.Crashed_at _ -> Alcotest.fail "unexpected simulated crash"
 
 let run1 pmem body = ignore (run pmem [ body ])

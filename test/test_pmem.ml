@@ -227,10 +227,15 @@ let test_counters () =
       ignore (Sim.Sched.cas (addr0 64) ~expected:1 ~desired:2);
       ignore (Sim.Sched.cas (addr0 64) ~expected:1 ~desired:3);
       Sim.Sched.flush (addr0 64);
-      Sim.Sched.fence ());
+      Sim.Sched.fence ();
+      (* a store to a line no timing cache has seen: a store miss, counted
+         separately from load misses *)
+      Sim.Sched.write (addr0 1024) 5);
   let c = Pmem.counters pmem in
   check_int "loads" 1 c.Pmem.loads;
-  check_int "stores" 1 c.Pmem.stores;
+  check_int "load misses" 1 c.Pmem.load_misses;
+  check_int "stores" 2 c.Pmem.stores;
+  check_int "store misses" 1 c.Pmem.store_misses;
   check_int "cas ops" 2 c.Pmem.cas_ops;
   check_int "cas failures" 1 c.Pmem.cas_failures;
   check_int "flushes" 1 c.Pmem.flushes;

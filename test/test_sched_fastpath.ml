@@ -1,0 +1,154 @@
+(* The scheduler's fast-path resume (Sched.run ~fast_path, on by default)
+   must be a pure wall-clock optimisation: with it on or off, a run must
+   produce bit-identical virtual times, event counts, outcomes, PMEM
+   counters and memory images. These tests drive a mixed
+   read/write/CAS/flush/fence/charge workload — with latency jitter ON, so
+   the shared RNG draw order is exercised too — down both paths and compare
+   everything observable. *)
+
+open Testsupport
+
+let n_pools = 4
+let pool_words = 1 lsl 16
+let threads = 8
+let ops_per_thread = 300
+
+(* Jittered latencies (Latency.default) on purpose: the fast path must
+   consume RNG draws in exactly the same order as the slow path. *)
+let mk_pmem seed =
+  Pmem.create
+    {
+      Pmem.numa_nodes = 4;
+      pool_words;
+      n_pools;
+      mode = Pmem.Multi_pool;
+      stripe_words = 1 lsl 12;
+      latency = Pmem.Latency.default;
+      eviction_probability = 0.0;
+      cache_lines = 256;
+      seed;
+    }
+
+(* One fiber: a per-tid RNG picks addresses and an op mix that exercises
+   every effect the scheduler handles, including some that resolve without
+   parking (Now, Self). *)
+let body ~seed ~tid =
+  let rng = Sim.Rng.create ((seed * 1000) + tid) in
+  let sink = ref 0 in
+  for _ = 1 to ops_per_thread do
+    let a =
+      Pmem.addr ~pool:(Sim.Rng.int rng n_pools)
+        ~word:(Sim.Rng.int rng pool_words)
+    in
+    match Sim.Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 -> sink := !sink + Sim.Sched.read a
+    | 4 | 5 -> Sim.Sched.write a (Sim.Rng.int rng 1000)
+    | 6 ->
+        let v = Sim.Sched.read a in
+        (* half genuine CAS, half deliberately stale expected value *)
+        let expected = if Sim.Rng.int rng 2 = 0 then v else v + 1 in
+        ignore (Sim.Sched.cas a ~expected ~desired:(v + 1))
+    | 7 ->
+        Sim.Sched.write a (Sim.Rng.int rng 1000);
+        Sim.Sched.flush a;
+        Sim.Sched.fence ()
+    | 8 ->
+        Sim.Sched.charge 3.5;
+        Sim.Sched.yield ()
+    | _ ->
+        let t0 = Sim.Sched.now () in
+        sink := !sink + Sim.Sched.self () + int_of_float t0
+  done
+
+let bodies seed = List.init threads (fun tid -> (tid, body ~seed))
+
+(* Everything observable about a finished run, in comparable form. *)
+let counter_list pmem =
+  let c = Pmem.counters pmem in
+  [
+    ("loads", c.Pmem.loads);
+    ("load_misses", c.Pmem.load_misses);
+    ("stores", c.Pmem.stores);
+    ("store_misses", c.Pmem.store_misses);
+    ("cas_ops", c.Pmem.cas_ops);
+    ("cas_failures", c.Pmem.cas_failures);
+    ("flushes", c.Pmem.flushes);
+    ("dirty_flushes", c.Pmem.dirty_flushes);
+    ("fences", c.Pmem.fences);
+    ("remote_accesses", c.Pmem.remote_accesses);
+    ("accesses", c.Pmem.accesses);
+  ]
+
+let snapshot pmem =
+  let acc = ref [] in
+  for pool = 0 to n_pools - 1 do
+    let w = ref 0 in
+    while !w < pool_words do
+      let a = Pmem.addr ~pool ~word:!w in
+      acc := (Pmem.peek pmem a, Pmem.peek_persistent pmem a) :: !acc;
+      w := !w + 97
+    done
+  done;
+  !acc
+
+let outcome_repr = function
+  | Sim.Sched.Completed { time; events; fibers } ->
+      Printf.sprintf "Completed { time = %h; events = %d; fibers = %d }" time
+        events fibers
+  | Sim.Sched.Crashed_at { time; events } ->
+      Printf.sprintf "Crashed_at { time = %h; events = %d }" time events
+
+let run_one ~fast_path ~crash seed =
+  let pmem = mk_pmem seed in
+  let outcome =
+    Sim.Sched.run ~crash ~fast_path ~machine:(Pmem.machine pmem) (bodies seed)
+  in
+  (outcome_repr outcome, counter_list pmem, snapshot pmem)
+
+let compare_paths ~crash seed =
+  let slow_outcome, slow_counters, slow_mem =
+    run_one ~fast_path:false ~crash seed
+  in
+  let fast_outcome, fast_counters, fast_mem =
+    run_one ~fast_path:true ~crash seed
+  in
+  Alcotest.(check string)
+    (Printf.sprintf "outcome (seed %d)" seed)
+    slow_outcome fast_outcome;
+  Alcotest.(check (list (pair string int)))
+    (Printf.sprintf "pmem counters (seed %d)" seed)
+    slow_counters fast_counters;
+  check_bool
+    (Printf.sprintf "memory images (seed %d)" seed)
+    true
+    (slow_mem = fast_mem)
+
+let test_complete () =
+  List.iter (compare_paths ~crash:Sim.Sched.No_crash) [ 1; 7; 42 ]
+
+let test_crash_events () =
+  (* crash mid-run: the event at which the crash fires, the virtual time it
+     reports and the post-crash memory images must all agree *)
+  List.iter (compare_paths ~crash:(Sim.Sched.After_events 5_000)) [ 1; 7; 42 ]
+
+let test_crash_time () =
+  List.iter (compare_paths ~crash:(Sim.Sched.At_time 40_000.0)) [ 1; 7; 42 ]
+
+let test_fiber_count () =
+  let pmem = mk_pmem 3 in
+  match Sim.Sched.run ~machine:(Pmem.machine pmem) (bodies 3) with
+  | Sim.Sched.Completed { fibers; _ } ->
+      check_int "Completed reports one entry per body" threads fibers
+  | Sim.Sched.Crashed_at _ -> Alcotest.fail "unexpected crash"
+
+let () =
+  Alcotest.run "sched_fastpath"
+    [
+      ( "fast path is simulated-time invariant",
+        [
+          case "full runs match across seeds" test_complete;
+          case "event-count crash points match" test_crash_events;
+          case "virtual-time crash points match" test_crash_time;
+          case "Completed reports fiber count" test_fiber_count;
+        ] );
+    ]
