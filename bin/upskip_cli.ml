@@ -139,6 +139,188 @@ let crash_term =
     const crash_cmd $ structure_t $ mode_t $ crash_trials_t $ threads_t $ seed_t
     $ descriptors_t)
 
+(* ---- crash-sweep ------------------------------------------------------------- *)
+
+module Fault = Harness.Fault
+
+let structure_name = function
+  | `Upskiplist -> "upskiplist"
+  | `Bztree -> "bztree"
+  | `Pmdk -> "pmdk"
+
+let mode_name = function Pmem.Striped -> "striped" | Pmem.Multi_pool -> "numa"
+
+let latency_t =
+  Arg.(
+    value & opt string "uniform"
+    & info [ "latency" ] ~doc:"Latency model: uniform | optane.")
+
+let keyspace_t =
+  Arg.(value & opt int 120 & info [ "keyspace" ] ~doc:"Workload keyspace.")
+
+let sweep_ops_t =
+  Arg.(value & opt int 100 & info [ "ops-per-thread" ] ~doc:"Ops per thread per round.")
+
+let rounds_t =
+  Arg.(value & opt int 1 & info [ "rounds" ] ~doc:"Workload rounds, each crashed.")
+
+let depth_t =
+  Arg.(
+    value & opt int 2
+    & info [ "depth" ] ~doc:"Crash points injected into the recovery fiber itself.")
+
+let evict_t =
+  Arg.(
+    value & opt string "config"
+    & info [ "evict" ]
+        ~doc:
+          "Persisted-state adversary: 'config' (pool's eviction coin) or a \
+           per-dirty-line persistence probability in [0,1].")
+
+let draws_t =
+  Arg.(
+    value & opt int 2
+    & info [ "draws" ] ~doc:"Persisted-state draws per crash point.")
+
+let origin_t =
+  Arg.(value & opt int 5_000 & info [ "origin" ] ~doc:"First crash point (events).")
+
+let stride_t =
+  Arg.(value & opt int 5_000 & info [ "stride" ] ~doc:"Crash-point spacing.")
+
+let points_t =
+  Arg.(value & opt int 4 & info [ "points" ] ~doc:"Crash points in the sweep.")
+
+let jitter_t =
+  Arg.(
+    value & opt int 500
+    & info [ "jitter" ] ~doc:"Seeded displacement added to each grid point.")
+
+let shrink_t =
+  Arg.(
+    value & flag
+    & info [ "shrink" ] ~doc:"On failure, shrink the first failing trial to a minimal spec.")
+
+let mutant_t =
+  Arg.(
+    value & opt string "none"
+    & info [ "mutant" ]
+        ~doc:"Self-validation mutant applied after recovery: none | lose_key | dangle.")
+
+let base_spec structure mode latency threads keyspace ops rounds depth evict seed
+    mutant =
+  let adversary =
+    if evict = "config" then Ok Fault.Config_default
+    else
+      match float_of_string_opt evict with
+      | Some p when p >= 0.0 && p <= 1.0 -> Ok (Fault.Subset p)
+      | _ -> Error ("bad --evict (want 'config' or a probability): " ^ evict)
+  in
+  Result.map
+    (fun adversary ->
+      {
+        Fault.default_spec with
+        structure = structure_name structure;
+        latency;
+        mode = mode_name mode;
+        threads;
+        keyspace;
+        ops_per_thread = ops;
+        rounds;
+        depth;
+        adversary;
+        draw_seed = seed + 1;
+        seed;
+        mutant;
+      })
+    adversary
+
+let report_failures ~shrink failures =
+  List.iteri
+    (fun i ((spec : Fault.spec), (res : Fault.result)) ->
+      Fmt.pr "@.FAILURE %d: %d violation(s), %d audit error(s)@." i
+        (List.length res.Fault.violations)
+        (List.length res.Fault.audit_errors);
+      List.iter
+        (fun v -> Fmt.pr "  %a@." Lincheck.Checker.pp_violation v)
+        res.Fault.violations;
+      List.iter (fun e -> Fmt.pr "  audit: %s@." e) res.Fault.audit_errors;
+      Fmt.pr "  replay: %s@." (Fault.spec_to_string spec);
+      if shrink && i = 0 then begin
+        Fmt.pr "  shrinking...@.";
+        let small = Fault.shrink spec in
+        Fmt.pr "  minimal: %s@." (Fault.spec_to_string small)
+      end)
+    failures
+
+let sweep_cmd structure mode latency threads keyspace ops rounds depth evict
+    draws origin stride points jitter seed mutant shrink =
+  match
+    base_spec structure mode latency threads keyspace ops rounds depth evict seed
+      mutant
+  with
+  | Error e ->
+      Fmt.epr "crash-sweep: %s@." e;
+      2
+  | Ok base ->
+      let campaign =
+        { Fault.base; grid = { Fault.origin; stride; points; jitter }; draws }
+      in
+      Fmt.pr "adversarial crash sweep on %s: %d points x %d draws, depth %d@."
+        base.Fault.structure points draws depth;
+      let s = Fault.run_campaign campaign in
+      Fault.print_summary ~name:base.Fault.structure s;
+      report_failures ~shrink s.Fault.failures;
+      if s.Fault.failures = [] then 0 else 1
+
+let sweep_term =
+  Term.(
+    const sweep_cmd $ structure_t $ mode_t $ latency_t $ threads_t $ keyspace_t
+    $ sweep_ops_t $ rounds_t $ depth_t $ evict_t $ draws_t $ origin_t $ stride_t
+    $ points_t $ jitter_t $ seed_t $ mutant_t $ shrink_t)
+
+(* ---- crash-replay ------------------------------------------------------------- *)
+
+let spec_tokens_t =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"SPEC"
+        ~doc:
+          "Replay spec as printed by crash-sweep (key=value tokens; quoting the \
+           whole line as one argument also works).")
+
+let replay_cmd tokens =
+  let line = String.concat " " tokens in
+  match Fault.spec_of_string line with
+  | Error e ->
+      Fmt.epr "crash-replay: %s@." e;
+      2
+  | Ok spec -> (
+      Fmt.pr "replaying: %s@." (Fault.spec_to_string spec);
+      match Fault.run_spec spec with
+      | Error e ->
+          Fmt.epr "crash-replay: %s@." e;
+          2
+      | Ok res ->
+          Fmt.pr "crashes %d (first at %d events), recoveries audited %d, \
+                  recovery %.2f ms@."
+            res.Fault.crashes res.Fault.crash_events res.Fault.audits
+            (res.Fault.recovery_ns /. 1.0e6);
+          List.iter
+            (fun v -> Fmt.pr "VIOLATION: %a@." Lincheck.Checker.pp_violation v)
+            res.Fault.violations;
+          List.iter (fun e -> Fmt.pr "AUDIT: %s@." e) res.Fault.audit_errors;
+          if Fault.failed res then begin
+            Fmt.pr "verdict: FAIL@.";
+            1
+          end
+          else begin
+            Fmt.pr "verdict: PASS@.";
+            0
+          end)
+
+let replay_term = Term.(const replay_cmd $ spec_tokens_t)
+
 (* ---- recovery ----------------------------------------------------------------- *)
 
 let recovery_cmd structure mode keys descriptors =
@@ -220,6 +402,16 @@ let cmds =
       (Cmd.info "crash-test"
          ~doc:"Crash trials with strict-linearizability analysis.")
       crash_term;
+    Cmd.v
+      (Cmd.info "crash-sweep"
+         ~doc:
+           "Adversarial fault-injection campaign: crash-point grid, \
+            persisted-state draws, crash-during-recovery, heap audits.")
+      sweep_term;
+    Cmd.v
+      (Cmd.info "crash-replay"
+         ~doc:"Re-execute a failing trial from its printed replay spec.")
+      replay_term;
     Cmd.v (Cmd.info "recovery" ~doc:"Measure post-crash recovery time.") recovery_term;
     Cmd.v (Cmd.info "demo" ~doc:"Small interactive walk-through.") demo_term;
   ]

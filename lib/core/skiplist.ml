@@ -829,6 +829,144 @@ let check_invariants t =
   done;
   List.rev !errs
 
+(* ---- persistent-heap audit (host side, persistent-image peeks) ----------
+
+   What a power failure right now would leave behind, checked structurally:
+   - the bottom level reaches the tail with strictly increasing first keys,
+     every hop landing on a node-kind block (no dangling/cyclic chain);
+   - every non-null tower pointer of a reachable node (and of the head)
+     targets the tail or a node on the bottom level — torn tower builds
+     legitimately leave null slots below the recorded height, and lazy
+     repair may leave a level skipping nodes, but a pointer into a free or
+     unregistered block is always corruption;
+   - the allocator accounts for every block (Block_alloc.audit): reachable,
+     free-listed, or excused by a thread's allocation/provision log.
+
+   Sound only with [reclaim_empty_nodes] off: retire lists are DRAM-only
+   and their nodes would read as leaks. *)
+let audit_persistent t =
+  if t.cfg.Config.reclaim_empty_nodes then
+    [ "audit_persistent: not applicable with reclaim_empty_nodes" ]
+  else begin
+    let errs = ref [] in
+    let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
+    let ppk obj i = Mem.peek_field_persistent t.mem obj i in
+    let nxt n level = Riv.of_word (Node.unmark (ppk n (t.ly.Node.o_next + level))) in
+    let resolvable p = Mem.try_resolve t.mem p <> None in
+    (* pass 1: bottom-level walk, collecting the reachable-node set *)
+    let on_bottom = Hashtbl.create 256 in
+    let bound =
+      let chunks = ref 0 in
+      for pool = 0 to Mem.n_pools t.mem - 1 do
+        chunks := !chunks + List.length (Mem.persistent_chunks t.mem ~pool)
+      done;
+      (!chunks * Mem.blocks_per_chunk t.mem) + 16
+    in
+    let rec walk n prev_k0 steps =
+      if Riv.is_null n then
+        err "bottom level: chain ends in null before the tail (after key %d)" prev_k0
+      else if Riv.equal n t.tail then ()
+      else if steps > bound then err "bottom level: cycle or runaway chain"
+      else if not (resolvable n) then
+        err "bottom level: next pointer %a dangles (unregistered chunk)" Riv.pp n
+      else begin
+        let kind = ppk n Node.o_kind in
+        if kind <> Mem.kind_node then
+          err "bottom level: block %a linked in has kind %d (not a node)" Riv.pp n
+            kind
+        else begin
+          Hashtbl.replace on_bottom (Riv.to_word n) ();
+          let k0 = ppk n Node.o_keys in
+          if k0 <= prev_k0 then
+            err "bottom level: first keys not strictly increasing (%d after %d)" k0
+              prev_k0;
+          walk (nxt n 0) k0 (steps + 1)
+        end
+      end
+    in
+    walk (nxt t.head 0) Node.head_key 0;
+    (* pass 2: tower pointers of the head and of every reachable node *)
+    let check_towers n label =
+      let h = ppk n Node.o_height in
+      if h < 1 || h > t.cfg.Config.max_height then
+        err "%s: height %d out of range" label h
+      else
+        for level = 1 to h - 1 do
+          let p = nxt n level in
+          if not (Riv.is_null p || Riv.equal p t.tail) then
+            if not (resolvable p) then
+              err "%s: level-%d pointer %a dangles" label level Riv.pp p
+            else if not (Hashtbl.mem on_bottom (Riv.to_word p)) then
+              err "%s: level-%d pointer %a targets a block not on the bottom level"
+                label level Riv.pp p
+        done
+    in
+    check_towers t.head "head sentinel";
+    Hashtbl.iter
+      (fun w () ->
+        let n = Riv.of_word w in
+        check_towers n (Fmt.str "node %a (key %d)" Riv.pp n (ppk n Node.o_keys)))
+      on_bottom;
+    (* pass 3: allocator accounting against the reachable set *)
+    let alloc_errs =
+      Block_alloc.audit t.mem ~reachable:(fun b -> Hashtbl.mem on_bottom (Riv.to_word b))
+    in
+    List.rev_append (List.rev !errs) alloc_errs
+  end
+
+(* ---- test-only fault injection (harness self-validation) ----------------
+
+   Deliberate post-recovery corruptions, poked write-through into both
+   images, used to prove the fault-injection campaigns can actually detect
+   a broken recovery: [lose_key] silently drops one committed update (the
+   strict-linearizability checker must flag the lost update), [dangle]
+   bends a tower pointer at a free block (the persistent-heap auditor must
+   flag it). Returns false when the structure is in no state to apply the
+   mutation (e.g. empty). *)
+let corrupt t what =
+  let first =
+    Riv.of_word (Node.unmark (Mem.peek_field t.mem t.head (t.ly.Node.o_next + 0)))
+  in
+  match what with
+  | "lose_key" ->
+      (* tombstone the first live value found on the bottom level *)
+      let k = t.cfg.Config.keys_per_node in
+      let rec hunt n =
+        if Riv.is_null n || Riv.equal n t.tail then false
+        else begin
+          let rec slot i =
+            if i >= k then
+              hunt
+                (Riv.of_word
+                   (Node.unmark (Mem.peek_field t.mem n (t.ly.Node.o_next + 0))))
+            else if
+              Mem.peek_field t.mem n (Node.o_keys + i) <> Node.empty_key
+              && Mem.peek_field t.mem n (t.ly.Node.o_values + i) <> Node.tombstone
+            then begin
+              Mem.poke_field t.mem n (t.ly.Node.o_values + i) Node.tombstone;
+              true
+            end
+            else slot (i + 1)
+          in
+          slot 0
+        end
+      in
+      hunt first
+  | "dangle" ->
+      (* bend the first reachable node's level-1 next at a free-list block *)
+      if Riv.is_null first || Riv.equal first t.tail then false
+      else begin
+        let victim = Mem.peek_ptr t.mem (Mem.arena_head_ptr ~pool:0 ~arena:0) 0 in
+        if Riv.is_null victim then false
+        else begin
+          Mem.poke_ptr t.mem first (t.ly.Node.o_next + 1) victim;
+          if Mem.peek_field t.mem first Node.o_height < 2 then
+            Mem.poke_field t.mem first Node.o_height 2;
+          true
+        end
+      end
+  | _ -> false
+
 (* ---- linearizable snapshot range (paper Ch. 7 follow-up) ----------------- *)
 
 (* A strictly linearizable range query via double collect: gather the pairs

@@ -63,6 +63,24 @@ val check_invariants : t -> string list
     lazy post-crash repair can legitimately report violations until they
     are traversed. *)
 
+val audit_persistent : t -> string list
+(** Persistent-heap audit: what a power failure right now would leave
+    behind, checked structurally over the {e persistent} image — bottom
+    level reaches the tail with strictly increasing keys through node-kind
+    blocks, non-null tower pointers target live nodes, and the allocator
+    accounts for every block of every registered chunk (reachable, on a
+    free list, or excused by an allocation/provision log — no leaks, no
+    dangling references). Empty list = clean. Lazy-repair states (torn
+    tower builds, log-covered blocks) are not violations. Requires
+    [reclaim_empty_nodes] off. *)
+
+val corrupt : t -> string -> bool
+(** Test-only fault injection for harness self-validation: ["lose_key"]
+    silently tombstones one committed value (a broken recovery the
+    linearizability checker must catch); ["dangle"] bends a tower pointer
+    at a free block (the persistent-heap auditor must catch it). Returns
+    [false] if the mutation is inapplicable (unknown name, empty list). *)
+
 (** {1 Physical removal (paper §4.6 follow-up)} *)
 
 val reclaim_stats : t -> (int * int * int) option

@@ -1,28 +1,25 @@
 (* Crash-recovery campaigns: timed recovery runs (Table 5.4) and
    linearizability-checked crash trials (Chapter 6).
 
-   A trial preloads the structure, plays an upsert-heavy workload over a
-   small keyspace, injects a crash at a virtual-time point, reconnects and
-   recovers, replays a second round touching the same keys, then reads
-   everything back. Every operation is logged with globally monotone
-   timestamps (each era's virtual clock is offset by the previous eras'
-   spans) so the strict-linearizability checker can reason across the
-   crash. *)
+   The trial engine itself lives in {!Fault} (which generalises it to
+   multi-crash, swept, adversarial campaigns); this module keeps the
+   original single-crash entry points: a trial preloads the structure,
+   plays an upsert-heavy workload over a small keyspace, injects a crash
+   at a randomized virtual-time point, reconnects and recovers, then
+   re-touches and reads back every key under the strict-linearizability
+   checker. *)
 
 module History = Lincheck.History
 
 type trial = {
   history : History.t;
-  recovery_ns : float;  (* simulated structure recovery work *)
+  recovery_ns : float;  (* modeled recovery: pool reopen + structure work *)
+  audit_errors : string list;
   crash_events : int;
   kv : Kv.t;
 }
 
-(* Modeled cost of reconnecting pools after restart (mmap of DAX-backed
-   files; constant with respect to structure size). Calibrated so the
-   paper's reconnect-dominated recovery times are in range: ~45 ms for the
-   first pool plus ~12 ms per additional pool. *)
-let pool_open_ns ~pools = 45.0e6 +. (12.0e6 *. float_of_int (max 0 (pools - 1)))
+let pool_open_ns = Fault.pool_open_ns
 
 (* Run the structure's recovery work as a single fiber and return its
    simulated duration in nanoseconds. *)
@@ -38,142 +35,57 @@ let timed_recovery (kv : Kv.t) =
 let recovery_time_s (kv : Kv.t) =
   (pool_open_ns ~pools:kv.Kv.pools +. timed_recovery kv) /. 1.0e9
 
-(* ---- linearizability crash trials --------------------------------------- *)
-
-type recorder = {
-  mutable events : History.event list;
-  mutable base : float;
-  mutable era : int;
-  mutable next_value : int;
-  pending : (int * int * float) option array;  (* tid -> key, value, inv *)
-}
-
-let fresh_recorder ~max_threads =
-  { events = []; base = 0.0; era = 0; next_value = 1; pending = Array.make max_threads None }
-
-let alloc_value r =
-  let v = r.next_value in
-  r.next_value <- v + 1;
-  v
-
-(* Wrap one recorded upsert; safe against mid-operation crashes. *)
-let recorded_upsert r (kv : Kv.t) ~tid key =
-  let value = alloc_value r in
-  let inv = r.base +. Sim.Sched.now () in
-  r.pending.(tid) <- Some (key, value, inv);
-  let prev = kv.Kv.upsert ~tid key value in
-  let res = r.base +. Sim.Sched.now () in
-  r.pending.(tid) <- None;
-  r.events <-
-    History.completed_upsert ~tid ~key ~value ~prev ~inv ~res ~era:r.era
-    :: r.events
-
-let recorded_read r (kv : Kv.t) ~tid key =
-  let inv = r.base +. Sim.Sched.now () in
-  let out = kv.Kv.search ~tid key in
-  let res = r.base +. Sim.Sched.now () in
-  r.events <- History.completed_read ~tid ~key ~out ~inv ~res ~era:r.era :: r.events
-
-(* Sweep interrupted operations into pending events after a crash. *)
-let sweep_pending r =
-  Array.iteri
-    (fun tid slot ->
-      match slot with
-      | None -> ()
-      | Some (key, value, inv) ->
-          r.events <- History.pending_upsert ~tid ~key ~value ~inv ~era:r.era :: r.events;
-          r.pending.(tid) <- None)
-    r.pending
-
 (* One full crash trial. [read_fraction] of the workload ops are reads;
    the rest are upserts over a small keyspace (high collision probability,
-   as in the thesis's correctness campaign). *)
-let run ?(read_fraction = 0.2) ~make ~threads ~keyspace ~ops_per_thread
-    ~crash_events ~seed () =
-  let kv : Kv.t = make () in
-  let r = fresh_recorder ~max_threads:threads in
+   as in the thesis's correctness campaign). The crash point is randomized
+   in [crash_events, 1.5 * crash_events) from [seed], as the original
+   campaign did. *)
+let run ?(read_fraction = 0.2) ?(audit = true) ~make ~threads ~keyspace
+    ~ops_per_thread ~crash_events ~seed () =
   let rng = Sim.Rng.create seed in
-  let machine = Kv.machine kv in
-  let advance_base outcome =
-    let time =
-      match outcome with
-      | Sim.Sched.Completed { time; _ } -> time
-      | Sim.Sched.Crashed_at { time; _ } -> time
-    in
-    r.base <- r.base +. time +. 1_000.0
-  in
-  (* phase 1 (era 0): preload every key, recorded *)
-  let preload_body ~tid =
-    let i = ref (tid + 1) in
-    while !i <= keyspace do
-      recorded_upsert r kv ~tid !i;
-      i := !i + threads
-    done
-  in
-  advance_base
-    (Sim.Sched.run ~machine (List.init threads (fun tid -> (tid, preload_body))));
-  (* phase 2 (era 0): workload until the crash *)
-  let streams =
-    Array.init threads (fun tid ->
-        let trng = Sim.Rng.create (seed + 1000 + tid) in
-        Array.init ops_per_thread (fun _ ->
-            let key = 1 + Sim.Rng.int trng keyspace in
-            if Sim.Rng.float trng < read_fraction then `Read key else `Upsert key))
-  in
-  let workload_body ~tid =
-    Array.iter
-      (function
-        | `Read key -> recorded_read r kv ~tid key
-        | `Upsert key -> recorded_upsert r kv ~tid key)
-      streams.(tid)
-  in
   let crash_at = crash_events + Sim.Rng.int rng (max 1 (crash_events / 2)) in
-  let outcome =
-    Sim.Sched.run ~machine
-      ~crash:(Sim.Sched.After_events crash_at)
-      (List.init threads (fun tid -> (tid, workload_body)))
+  let spec =
+    {
+      Fault.default_spec with
+      threads;
+      keyspace;
+      ops_per_thread;
+      read_fraction;
+      crash_at;
+      rounds = 1;
+      depth = 0;
+      adversary = Fault.Config_default;
+      draw_seed = seed;
+      seed;
+      audit;
+    }
   in
-  advance_base outcome;
-  let crashed = match outcome with Sim.Sched.Crashed_at _ -> true | _ -> false in
-  if crashed then begin
-    sweep_pending r;
-    Pmem.crash kv.Kv.pmem;
-    kv.Kv.reconnect ();
-    r.era <- r.era + 1;
-    (* structure recovery work, itself part of the recorded timeline *)
-    advance_base
-      (Sim.Sched.run ~machine [ (0, fun ~tid -> kv.Kv.recover ~tid) ])
-  end;
-  (* phase 3: re-touch every key (update + read), then a full read-back *)
-  let retouch_body ~tid =
-    let i = ref (tid + 1) in
-    while !i <= keyspace do
-      recorded_upsert r kv ~tid !i;
-      recorded_read r kv ~tid !i;
-      i := !i + threads
-    done
-  in
-  advance_base
-    (Sim.Sched.run ~machine (List.init threads (fun tid -> (tid, retouch_body))));
-  let history = History.create ~eras:(r.era + 1) (List.rev r.events) in
+  let r = Fault.run_trial ~make spec in
   {
-    history;
-    recovery_ns = 0.0;
-    crash_events = (match outcome with Sim.Sched.Crashed_at { events; _ } -> events | _ -> 0);
-    kv;
+    history = r.Fault.history;
+    recovery_ns = r.Fault.recovery_ns;
+    audit_errors = r.Fault.audit_errors;
+    crash_events = r.Fault.crash_events;
+    kv = r.Fault.kv;
   }
 
 (* Run [trials] independent crash trials and check each; returns the list
-   of violations found (empty = strictly linearizable in every trial). *)
-let campaign ?(read_fraction = 0.2) ~make ~threads ~keyspace ~ops_per_thread
-    ~crash_events ~seed ~trials () =
+   of violations found (empty = strictly linearizable in every trial).
+   Persistent-heap audit failures are folded in as violations on key 0. *)
+let campaign ?(read_fraction = 0.2) ?(audit = true) ~make ~threads ~keyspace
+    ~ops_per_thread ~crash_events ~seed ~trials () =
   let all = ref [] in
   for i = 0 to trials - 1 do
     let t =
-      run ~read_fraction ~make ~threads ~keyspace ~ops_per_thread ~crash_events
-        ~seed:(seed + (7919 * i)) ()
+      run ~read_fraction ~audit ~make ~threads ~keyspace ~ops_per_thread
+        ~crash_events ~seed:(seed + (7919 * i)) ()
     in
-    let violations = Lincheck.Checker.check t.history in
+    let violations =
+      Lincheck.Checker.check t.history
+      @ List.map
+          (fun e -> { Lincheck.Checker.key = 0; message = "audit: " ^ e })
+          t.audit_errors
+    in
     all := List.map (fun v -> (i, v)) violations @ !all
   done;
   List.rev !all

@@ -1,11 +1,16 @@
 (** Crash-recovery campaigns: timed recovery (Table 5.4) and
-    linearizability-checked crash trials (Chapter 6). *)
+    linearizability-checked single-crash trials (Chapter 6). The trial
+    engine lives in {!Fault}; this is the original single-crash surface. *)
 
 type trial = {
   history : Lincheck.History.t;
       (** every operation of the trial, timestamps globally monotone across
           the crash *)
   recovery_ns : float;
+      (** total modeled recovery (pool reopen + structure work); positive
+          iff the trial crashed *)
+  audit_errors : string list;
+      (** persistent-heap audit report after recovery (empty = clean) *)
   crash_events : int;  (** primitive events executed before the crash *)
   kv : Kv.t;
 }
@@ -23,6 +28,7 @@ val recovery_time_s : Kv.t -> float
 
 val run :
   ?read_fraction:float ->
+  ?audit:bool ->
   make:(unit -> Kv.t) ->
   threads:int ->
   keyspace:int ->
@@ -32,11 +38,12 @@ val run :
   unit ->
   trial
 (** One crash trial: recorded preload, upsert-heavy workload crashed at a
-    randomized point, reconnect + recovery, recorded re-touch of every
-    key. *)
+    randomized point, reconnect + recovery (+ persistent-heap audit unless
+    [~audit:false]), recorded re-touch of every key. *)
 
 val campaign :
   ?read_fraction:float ->
+  ?audit:bool ->
   make:(unit -> Kv.t) ->
   threads:int ->
   keyspace:int ->
@@ -47,4 +54,5 @@ val campaign :
   unit ->
   (int * Lincheck.Checker.violation) list
 (** Run [trials] independent trials and check each history; empty result =
-    every trial strictly linearizable. *)
+    every trial strictly linearizable and audit-clean (audit failures are
+    reported as violations on key 0). *)

@@ -1,0 +1,527 @@
+(* Adversarial fault-injection campaigns (the hostile extension of
+   Crash_test's single-crash trial).
+
+   A trial is described exhaustively by a {!spec} — structure, machine
+   model, workload shape, crash point, multi-crash depth, persisted-state
+   adversary, seeds, optional self-validation mutant — and is fully
+   deterministic given the spec, so every failure is replayable from its
+   one-line printed form ({!spec_to_string} / `upskip_cli crash-replay`).
+
+   Hostility beyond the single-crash trial:
+   - multi-crash: the recovery fiber itself runs under a crash point,
+     recursively up to [depth], so recovery must be idempotent under
+     repeated power failures; [rounds] > 1 additionally re-crashes the
+     post-recovery workload, exercising crash-during-lazy-recovery for
+     structures (like UPSkipList) that defer repair into normal operation;
+   - deterministic crash-point sweeps: a campaign runs a {!grid} of crash
+     points (stride plus seeded jitter) instead of one random draw;
+   - dirty-line subset adversary: each power failure draws, per dirty
+     line, whether that line persisted ([Subset p] via
+     [Pmem.crash ~persist_line]), so several [draw_seed]s explore distinct
+     persisted states of the same pre-crash execution;
+   - persistent-heap audit: after every recovery the structure's
+     persistent image is walked for structural invariants and allocator
+     leaks ([Kv.audit]), reported alongside the strict-linearizability
+     verdict;
+   - failure shrinking: a failing spec is greedily reduced (threads,
+     keyspace, ops, depth, crash-point bisection) to a minimal spec that
+     still fails. *)
+
+module History = Lincheck.History
+
+(* What persists at a power failure: the PMEM config's eviction coin, or
+   an explicit per-line probability drawn from the trial's [draw_seed]. *)
+type adversary = Config_default | Subset of float
+
+type spec = {
+  structure : string;  (* upskiplist | bztree | pmdk *)
+  latency : string;  (* uniform | optane *)
+  mode : string;  (* numa | striped *)
+  threads : int;
+  keyspace : int;
+  ops_per_thread : int;
+  read_fraction : float;
+  rounds : int;  (* workload rounds, each under its own crash point *)
+  crash_at : int;  (* primitive-event crash point of round 0 *)
+  depth : int;  (* crashes injected into the recovery fiber itself *)
+  adversary : adversary;
+  draw_seed : int;  (* persisted-state draws + recovery/round crash points *)
+  seed : int;  (* workload streams *)
+  audit : bool;
+  mutant : string;  (* none, or a Kv.corrupt mutation applied post-recovery *)
+}
+
+let default_spec =
+  {
+    structure = "upskiplist";
+    latency = "uniform";
+    mode = "numa";
+    threads = 4;
+    keyspace = 120;
+    ops_per_thread = 100;
+    read_fraction = 0.2;
+    rounds = 1;
+    crash_at = 20_000;
+    depth = 0;
+    adversary = Config_default;
+    draw_seed = 1;
+    seed = 42;
+    audit = true;
+    mutant = "none";
+  }
+
+type result = {
+  history : History.t;
+  violations : Lincheck.Checker.violation list;
+  audit_errors : string list;
+  audits : int;  (* audit passes performed (one per completed recovery) *)
+  recovery_ns : float;  (* modeled recovery: pool reopen + structure work,
+                           summed over completed recoveries *)
+  crashes : int;  (* power failures injected (workload + recovery) *)
+  crash_events : int;  (* events before the first crash; 0 = never crashed *)
+  kv : Kv.t;
+}
+
+let failed r = r.violations <> [] || r.audit_errors <> []
+
+(* Modeled cost of reconnecting pools after restart (mmap of DAX-backed
+   files; constant with respect to structure size). Calibrated so the
+   paper's reconnect-dominated recovery times are in range: ~45 ms for the
+   first pool plus ~12 ms per additional pool. *)
+let pool_open_ns ~pools = 45.0e6 +. (12.0e6 *. float_of_int (max 0 (pools - 1)))
+
+(* ---- operation recording (globally monotone timestamps across crashes) -- *)
+
+type recorder = {
+  mutable events : History.event list;
+  mutable base : float;
+  mutable era : int;
+  mutable next_value : int;
+  pending : (int * int * float) option array;  (* tid -> key, value, inv *)
+}
+
+let fresh_recorder ~max_threads =
+  { events = []; base = 0.0; era = 0; next_value = 1; pending = Array.make max_threads None }
+
+let alloc_value r =
+  let v = r.next_value in
+  r.next_value <- v + 1;
+  v
+
+(* Wrap one recorded upsert; safe against mid-operation crashes. *)
+let recorded_upsert r (kv : Kv.t) ~tid key =
+  let value = alloc_value r in
+  let inv = r.base +. Sim.Sched.now () in
+  r.pending.(tid) <- Some (key, value, inv);
+  let prev = kv.Kv.upsert ~tid key value in
+  let res = r.base +. Sim.Sched.now () in
+  r.pending.(tid) <- None;
+  r.events <-
+    History.completed_upsert ~tid ~key ~value ~prev ~inv ~res ~era:r.era
+    :: r.events
+
+let recorded_read r (kv : Kv.t) ~tid key =
+  let inv = r.base +. Sim.Sched.now () in
+  let out = kv.Kv.search ~tid key in
+  let res = r.base +. Sim.Sched.now () in
+  r.events <- History.completed_read ~tid ~key ~out ~inv ~res ~era:r.era :: r.events
+
+(* Sweep interrupted operations into pending events after a crash. *)
+let sweep_pending r =
+  Array.iteri
+    (fun tid slot ->
+      match slot with
+      | None -> ()
+      | Some (key, value, inv) ->
+          r.events <- History.pending_upsert ~tid ~key ~value ~inv ~era:r.era :: r.events;
+          r.pending.(tid) <- None)
+    r.pending
+
+(* ---- one adversarial trial ---------------------------------------------- *)
+
+(* Recovery crash points are drawn below this many primitive events, sized
+   to land inside the descriptor/log scans of the structures with real
+   recovery fibers. *)
+let recovery_crash_window = 256
+
+let run_trial ?mutant ~make (spec : spec) =
+  let kv : Kv.t = make () in
+  let threads = spec.threads in
+  let r = fresh_recorder ~max_threads:threads in
+  let rng = Sim.Rng.create spec.draw_seed in
+  let machine = Kv.machine kv in
+  let mutate =
+    match mutant with
+    | Some f -> f
+    | None -> fun (kv : Kv.t) -> spec.mutant <> "none" && kv.Kv.corrupt spec.mutant
+  in
+  let advance_base outcome =
+    let time =
+      match outcome with
+      | Sim.Sched.Completed { time; _ } -> time
+      | Sim.Sched.Crashed_at { time; _ } -> time
+    in
+    r.base <- r.base +. time +. 1_000.0
+  in
+  let crashes = ref 0 in
+  let recovery_ns = ref 0.0 in
+  let audit_errors = ref [] in
+  let audits = ref 0 in
+  let first_crash_events = ref 0 in
+  let power_fail () =
+    (match spec.adversary with
+    | Config_default -> Pmem.crash kv.Kv.pmem
+    | Subset p ->
+        Pmem.crash
+          ~persist_line:(fun ~pool:_ ~line:_ -> p > 0.0 && Sim.Rng.float rng < p)
+          kv.Kv.pmem);
+    incr crashes;
+    kv.Kv.reconnect ();
+    r.era <- r.era + 1
+  in
+  (* Recovery under its own crash points: while depth remains, the recovery
+     fiber runs under a randomized crash point; a crashed recovery powers
+     the machine down again (fresh persisted-state draw) and recovery
+     restarts from scratch — it must be idempotent. *)
+  let rec recover ~depth =
+    let crash =
+      if depth > 0 then
+        Sim.Sched.After_events (1 + Sim.Rng.int rng recovery_crash_window)
+      else Sim.Sched.No_crash
+    in
+    match Sim.Sched.run ~machine ~crash [ (0, fun ~tid -> kv.Kv.recover ~tid) ] with
+    | Sim.Sched.Completed { time; _ } as o ->
+        advance_base o;
+        recovery_ns := !recovery_ns +. pool_open_ns ~pools:kv.Kv.pools +. time
+    | Sim.Sched.Crashed_at _ as o ->
+        advance_base o;
+        power_fail ();
+        recover ~depth:(depth - 1)
+  in
+  let after_recovery () =
+    ignore (mutate kv : bool);
+    if spec.audit then begin
+      incr audits;
+      audit_errors := !audit_errors @ kv.Kv.audit ()
+    end
+  in
+  (* phase 1 (era 0): preload every key, recorded *)
+  let preload_body ~tid =
+    let i = ref (tid + 1) in
+    while !i <= spec.keyspace do
+      recorded_upsert r kv ~tid !i;
+      i := !i + threads
+    done
+  in
+  advance_base
+    (Sim.Sched.run ~machine (List.init threads (fun tid -> (tid, preload_body))));
+  (* phase 2: workload rounds, each crashed at its own point. Round 0
+     crashes at [crash_at]; later rounds draw a point below it, so repeated
+     failures land progressively inside the post-recovery (lazy-repair)
+     work of earlier ones. *)
+  for round = 0 to spec.rounds - 1 do
+    let streams =
+      Array.init threads (fun tid ->
+          let trng = Sim.Rng.create (spec.seed + 1000 + (10_000 * round) + tid) in
+          Array.init spec.ops_per_thread (fun _ ->
+              let key = 1 + Sim.Rng.int trng spec.keyspace in
+              if Sim.Rng.float trng < spec.read_fraction then `Read key
+              else `Upsert key))
+    in
+    let body ~tid =
+      Array.iter
+        (function
+          | `Read key -> recorded_read r kv ~tid key
+          | `Upsert key -> recorded_upsert r kv ~tid key)
+        streams.(tid)
+    in
+    let crash_at =
+      if round = 0 then spec.crash_at else 1 + Sim.Rng.int rng (max 1 spec.crash_at)
+    in
+    let outcome =
+      Sim.Sched.run ~machine
+        ~crash:(Sim.Sched.After_events crash_at)
+        (List.init threads (fun tid -> (tid, body)))
+    in
+    advance_base outcome;
+    match outcome with
+    | Sim.Sched.Completed _ -> ()
+    | Sim.Sched.Crashed_at { events; _ } ->
+        if !crashes = 0 then first_crash_events := events;
+        sweep_pending r;
+        power_fail ();
+        recover ~depth:spec.depth;
+        after_recovery ()
+  done;
+  (* phase 3: re-touch every key (update + read) — the full read-back the
+     checker analyzes against everything recorded before the crashes *)
+  let retouch_body ~tid =
+    let i = ref (tid + 1) in
+    while !i <= spec.keyspace do
+      recorded_upsert r kv ~tid !i;
+      recorded_read r kv ~tid !i;
+      i := !i + threads
+    done
+  in
+  advance_base
+    (Sim.Sched.run ~machine (List.init threads (fun tid -> (tid, retouch_body))));
+  let history = History.create ~eras:(r.era + 1) (List.rev r.events) in
+  let violations = Lincheck.Checker.check history in
+  {
+    history;
+    violations;
+    audit_errors = !audit_errors;
+    audits = !audits;
+    recovery_ns = !recovery_ns;
+    crashes = !crashes;
+    crash_events = !first_crash_events;
+    kv;
+  }
+
+(* ---- replay specs (one line, self-contained) ----------------------------- *)
+
+let adversary_to_string = function
+  | Config_default -> "config"
+  | Subset p -> Printf.sprintf "%g" p
+
+let spec_to_string s =
+  Printf.sprintf
+    "structure=%s latency=%s mode=%s threads=%d keyspace=%d ops=%d read=%g \
+     rounds=%d crash_at=%d depth=%d evict=%s draw=%d seed=%d audit=%s mutant=%s"
+    s.structure s.latency s.mode s.threads s.keyspace s.ops_per_thread
+    s.read_fraction s.rounds s.crash_at s.depth
+    (adversary_to_string s.adversary)
+    s.draw_seed s.seed
+    (if s.audit then "on" else "off")
+    s.mutant
+
+let spec_of_string line =
+  let tokens =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun t -> t <> "")
+  in
+  let parse_int k v =
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "%s: not an integer: %s" k v)
+  in
+  let parse_float k v =
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "%s: not a number: %s" k v)
+  in
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc tok ->
+      let* s = acc in
+      match String.index_opt tok '=' with
+      | None -> Error (Printf.sprintf "malformed token (expected key=value): %s" tok)
+      | Some i -> (
+          let k = String.sub tok 0 i in
+          let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+          match k with
+          | "structure" -> Ok { s with structure = v }
+          | "latency" -> Ok { s with latency = v }
+          | "mode" -> Ok { s with mode = v }
+          | "threads" ->
+              let* n = parse_int k v in
+              Ok { s with threads = n }
+          | "keyspace" ->
+              let* n = parse_int k v in
+              Ok { s with keyspace = n }
+          | "ops" ->
+              let* n = parse_int k v in
+              Ok { s with ops_per_thread = n }
+          | "read" ->
+              let* f = parse_float k v in
+              Ok { s with read_fraction = f }
+          | "rounds" ->
+              let* n = parse_int k v in
+              Ok { s with rounds = n }
+          | "crash_at" ->
+              let* n = parse_int k v in
+              Ok { s with crash_at = n }
+          | "depth" ->
+              let* n = parse_int k v in
+              Ok { s with depth = n }
+          | "evict" ->
+              if v = "config" then Ok { s with adversary = Config_default }
+              else
+                let* f = parse_float k v in
+                Ok { s with adversary = Subset f }
+          | "draw" ->
+              let* n = parse_int k v in
+              Ok { s with draw_seed = n }
+          | "seed" ->
+              let* n = parse_int k v in
+              Ok { s with seed = n }
+          | "audit" -> Ok { s with audit = v = "on" }
+          | "mutant" -> Ok { s with mutant = v }
+          | _ -> Error (Printf.sprintf "unknown key: %s" k)))
+    (Ok default_spec) tokens
+
+(* ---- building the fixture a spec names ----------------------------------- *)
+
+let sys_of_spec s =
+  let ( let* ) = Result.bind in
+  let* latency =
+    match s.latency with
+    | "uniform" -> Ok Pmem.Latency.uniform
+    | "optane" -> Ok Pmem.Latency.default
+    | l -> Error ("unknown latency model: " ^ l)
+  in
+  let* mode =
+    match s.mode with
+    | "numa" | "multi" -> Ok Pmem.Multi_pool
+    | "striped" -> Ok Pmem.Striped
+    | m -> Error ("unknown mode: " ^ m)
+  in
+  Ok
+    {
+      Kv.default_sys with
+      latency;
+      mode;
+      pool_words = 1 lsl 20;
+      max_threads = max 16 s.threads;
+    }
+
+let kv_of_spec s =
+  let ( let* ) = Result.bind in
+  let* sys = sys_of_spec s in
+  match s.structure with
+  | "upskiplist" | "ups" -> Ok (fun () -> Kv.make_upskiplist sys)
+  | "bztree" | "bz" -> Ok (fun () -> Kv.make_bztree ~n_descriptors:16_384 sys)
+  | "pmdk" | "lock" -> Ok (fun () -> Kv.make_pmdk_list sys)
+  | st -> Error ("unknown structure: " ^ st)
+
+let run_spec s =
+  match kv_of_spec s with
+  | Error _ as e -> e
+  | Ok make -> Ok (run_trial ~make s)
+
+(* ---- deterministic crash-point sweeps ------------------------------------ *)
+
+type grid = { origin : int; stride : int; points : int; jitter : int }
+
+(* Grid points: origin + i*stride, each displaced by a seeded jitter so
+   short sweeps do not always sample the same phase of the workload. Same
+   seed -> same points. *)
+let grid_points ~seed g =
+  let rng = Sim.Rng.create (seed + 7771) in
+  List.init g.points (fun i ->
+      g.origin + (i * g.stride)
+      + (if g.jitter > 0 then Sim.Rng.int rng g.jitter else 0))
+
+type campaign = {
+  base : spec;  (* crash_at / draw_seed are overridden per trial *)
+  grid : grid;
+  draws : int;  (* persisted-state draws per grid point *)
+}
+
+type summary = {
+  trials : int;
+  crashed_trials : int;
+  crash_points : int list;  (* distinct points the grid produced *)
+  draws_per_point : int;
+  total_crashes : int;  (* power failures incl. crash-during-recovery *)
+  audit_passes : int;
+  audit_failures : int;  (* trials with a non-empty audit report *)
+  violation_trials : int;
+  recovery_ns : float list;  (* one total per crashed trial *)
+  failures : (spec * result) list;  (* newest last *)
+}
+
+let run_campaign ?make ?mutant (c : campaign) =
+  let make =
+    match make with
+    | Some m -> Ok m
+    | None -> kv_of_spec c.base
+  in
+  let make = match make with Ok m -> m | Error e -> invalid_arg ("Fault.run_campaign: " ^ e) in
+  let points = grid_points ~seed:c.base.seed c.grid in
+  let trials = ref 0
+  and crashed = ref 0
+  and total_crashes = ref 0
+  and audit_passes = ref 0
+  and audit_failures = ref 0
+  and violation_trials = ref 0 in
+  let recovery_ns = ref [] in
+  let failures = ref [] in
+  List.iteri
+    (fun i point ->
+      for j = 0 to c.draws - 1 do
+        let spec =
+          { c.base with crash_at = point; draw_seed = c.base.draw_seed + (97 * i) + (1009 * j) }
+        in
+        let res = run_trial ?mutant ~make spec in
+        incr trials;
+        if res.crashes > 0 then begin
+          incr crashed;
+          recovery_ns := res.recovery_ns :: !recovery_ns
+        end;
+        total_crashes := !total_crashes + res.crashes;
+        audit_passes := !audit_passes + res.audits;
+        if res.audit_errors <> [] then incr audit_failures;
+        if res.violations <> [] then incr violation_trials;
+        if failed res then failures := (spec, res) :: !failures
+      done)
+    points;
+  {
+    trials = !trials;
+    crashed_trials = !crashed;
+    crash_points = points;
+    draws_per_point = c.draws;
+    total_crashes = !total_crashes;
+    audit_passes = !audit_passes;
+    audit_failures = !audit_failures;
+    violation_trials = !violation_trials;
+    recovery_ns = List.rev !recovery_ns;
+    failures = List.rev !failures;
+  }
+
+let print_summary ~name (s : summary) =
+  Report.campaign_summary ~name ~trials:s.trials ~crashed:s.crashed_trials
+    ~crash_points:(List.length (List.sort_uniq compare s.crash_points))
+    ~draws:s.draws_per_point ~total_crashes:s.total_crashes
+    ~audit_passes:s.audit_passes ~audit_failures:s.audit_failures
+    ~violation_trials:s.violation_trials ~recovery_ns:s.recovery_ns
+
+(* ---- failure shrinking --------------------------------------------------- *)
+
+(* Greedy minimisation of a failing spec: repeatedly adopt the first
+   candidate reduction (fewer threads, smaller keyspace, fewer ops, lower
+   depth/rounds, bisected crash point) that still fails, until none does or
+   the re-execution budget runs out. The result replays from its printed
+   spec alone. *)
+let shrink ?(budget = 80) (spec0 : spec) =
+  let runs = ref 0 in
+  let fails s =
+    if !runs >= budget then false
+    else begin
+      incr runs;
+      match run_spec s with Ok r -> failed r | Error _ -> false
+    end
+  in
+  let candidates s =
+    List.concat
+      [
+        (if s.threads > 1 then [ { s with threads = max 1 (s.threads / 2) } ] else []);
+        (if s.keyspace > 2 then [ { s with keyspace = max 2 (s.keyspace / 2) } ] else []);
+        (if s.ops_per_thread > 1 then
+           [ { s with ops_per_thread = max 1 (s.ops_per_thread / 2) } ]
+         else []);
+        (if s.rounds > 1 then [ { s with rounds = 1 } ] else []);
+        (if s.depth > 0 then [ { s with depth = s.depth / 2 } ] else []);
+        (if s.crash_at > 8 then [ { s with crash_at = s.crash_at / 2 } ] else []);
+        (if s.crash_at > 8 then [ { s with crash_at = s.crash_at * 3 / 4 } ] else []);
+        (if s.crash_at > 1 then [ { s with crash_at = s.crash_at - 1 } ] else []);
+      ]
+  in
+  let rec minimise s =
+    if !runs >= budget then s
+    else
+      match List.find_opt fails (candidates s) with
+      | Some smaller -> minimise smaller
+      | None -> s
+  in
+  minimise spec0

@@ -1,0 +1,140 @@
+(** Adversarial fault-injection campaigns.
+
+    Extends the single-crash trial of {!Crash_test} with multi-crash
+    trials (the recovery fiber itself runs under crash points, recursively
+    up to a configurable depth), deterministic crash-point sweeps over a
+    jittered grid, a dirty-line subset adversary choosing per cache line
+    what persisted at each power failure, a persistent-heap audit after
+    every recovery, and greedy shrinking of failing trials to minimal
+    replayable reproducers.
+
+    Everything is deterministic given the {!spec}: the same spec replays
+    the same crash points, the same persisted-state draws, and the same
+    verdict — which is what makes the one-line printed spec
+    ({!spec_to_string}, consumed by [upskip_cli crash-replay]) a complete
+    bug report. *)
+
+(** What persists at a power failure: [Config_default] uses the PMEM
+    config's eviction coin (the pool's own RNG); [Subset p] draws, per
+    dirty cache line, from the trial's [draw_seed] whether that line
+    reached persistence — every subset is fence-consistent because the
+    simulator flushes eagerly. *)
+type adversary = Config_default | Subset of float
+
+type spec = {
+  structure : string;  (** [upskiplist] | [bztree] | [pmdk] *)
+  latency : string;  (** [uniform] | [optane] *)
+  mode : string;  (** [numa] | [striped] *)
+  threads : int;
+  keyspace : int;
+  ops_per_thread : int;
+  read_fraction : float;
+  rounds : int;
+      (** workload rounds, each under its own crash point; rounds > 1
+          crash the structure again while it is still lazily repairing *)
+  crash_at : int;  (** primitive-event crash point of round 0 *)
+  depth : int;
+      (** crash points injected into the recovery fiber itself: a crashed
+          recovery powers the machine down again and restarts recovery,
+          recursively up to [depth] times per workload crash *)
+  adversary : adversary;
+  draw_seed : int;
+      (** seeds persisted-state draws and recovery/round crash points *)
+  seed : int;  (** seeds the workload streams and the sweep grid *)
+  audit : bool;  (** run the persistent-heap audit after each recovery *)
+  mutant : string;
+      (** [none], or a {!Kv.t}[.corrupt] mutation applied after each
+          completed recovery (harness self-validation) *)
+}
+
+val default_spec : spec
+(** upskiplist, uniform/numa, 4 threads, keyspace 120, 100 ops/thread,
+    20% reads, one round crashed at 20k events, depth 0, config-default
+    adversary, audit on, no mutant. *)
+
+type result = {
+  history : Lincheck.History.t;
+  violations : Lincheck.Checker.violation list;
+  audit_errors : string list;
+  audits : int;  (** audit passes performed (one per completed recovery) *)
+  recovery_ns : float;
+      (** total modeled recovery (pool reopen + structure work) summed
+          over completed recoveries; positive iff the trial crashed *)
+  crashes : int;  (** power failures injected (workload + recovery) *)
+  crash_events : int;
+      (** primitive events before the first crash; 0 = never crashed *)
+  kv : Kv.t;
+}
+
+val failed : result -> bool
+(** A strict-linearizability violation or a non-empty audit report. *)
+
+val pool_open_ns : pools:int -> float
+(** Modeled cost of reconnecting pools after restart (mmap of DAX files,
+    constant in structure size): ~45 ms + ~12 ms per extra pool. *)
+
+val run_trial : ?mutant:(Kv.t -> bool) -> make:(unit -> Kv.t) -> spec -> result
+(** One adversarial trial on a fresh fixture from [make]. [?mutant]
+    overrides the spec's named mutant with an arbitrary corruption. *)
+
+(** {1 Replay specs} *)
+
+val spec_to_string : spec -> string
+(** One line of [key=value] tokens; {!spec_of_string} inverts it. *)
+
+val spec_of_string : string -> (spec, string) Stdlib.result
+(** Parse a replay spec; unspecified keys default to {!default_spec}. *)
+
+val run_spec : spec -> (result, string) Stdlib.result
+(** Build the fixture the spec names ({!kv_of_spec}) and run the trial —
+    a failure replays from its printed spec alone. *)
+
+val sys_of_spec : spec -> (Kv.sys, string) Stdlib.result
+val kv_of_spec : spec -> (unit -> Kv.t, string) Stdlib.result
+
+(** {1 Deterministic crash-point sweeps} *)
+
+type grid = {
+  origin : int;  (** first crash point *)
+  stride : int;  (** spacing between points *)
+  points : int;
+  jitter : int;  (** seeded displacement in [0, jitter) added per point *)
+}
+
+val grid_points : seed:int -> grid -> int list
+(** The sweep's crash points; same seed, same points. *)
+
+type campaign = {
+  base : spec;  (** [crash_at] / [draw_seed] are overridden per trial *)
+  grid : grid;
+  draws : int;  (** persisted-state draws per grid point *)
+}
+
+type summary = {
+  trials : int;
+  crashed_trials : int;
+  crash_points : int list;
+  draws_per_point : int;
+  total_crashes : int;  (** incl. crashes injected during recovery *)
+  audit_passes : int;
+  audit_failures : int;  (** trials with a non-empty audit report *)
+  violation_trials : int;
+  recovery_ns : float list;  (** one total per crashed trial *)
+  failures : (spec * result) list;
+}
+
+val run_campaign : ?make:(unit -> Kv.t) -> ?mutant:(Kv.t -> bool) -> campaign -> summary
+(** [grid.points * draws] trials. [?make] overrides {!kv_of_spec} on the
+    base spec (raises [Invalid_argument] if absent and the base spec names
+    an unknown fixture). *)
+
+val print_summary : name:string -> summary -> unit
+
+(** {1 Failure shrinking} *)
+
+val shrink : ?budget:int -> spec -> spec
+(** Greedily minimise a failing spec — halve threads / keyspace / ops,
+    drop rounds and depth, bisect the crash point — re-running candidates
+    via {!run_spec} (at most [budget] times, default 80) and keeping each
+    reduction that still {!failed}. Returns the smallest failing spec
+    found (the input itself if nothing smaller fails). *)

@@ -20,6 +20,12 @@ type t = {
       (* free deferred reclamation work; call only with no ops in flight *)
   reconnect : unit -> unit;
   to_alist : unit -> (int * int) list;
+  audit : unit -> string list;
+      (* persistent-heap invariant violations (empty = clean); structures
+         without a persistent auditor return [] *)
+  corrupt : string -> bool;
+      (* test-only fault injection for harness self-validation; false =
+         mutation not applicable / unsupported *)
   pmem : Pmem.t;
   mem : Mem.t;
   pools : int;  (* pools reopened at reconnect (for recovery-time model) *)
@@ -97,6 +103,12 @@ let make_upskiplist ?(cfg = Upskiplist.Config.default) ?(n_arenas = 8) sys =
     quiesce = (fun ~tid -> Upskiplist.Skiplist.quiesced_drain sl ~tid);
     reconnect = (fun () -> Mem.reconnect mem);
     to_alist = (fun () -> Upskiplist.Skiplist.to_alist sl);
+    audit =
+      (* the persistent-heap audit is only sound without physical
+         reclamation (retire lists are DRAM-only and would read as leaks) *)
+      (if cfg.Upskiplist.Config.reclaim_empty_nodes then fun () -> []
+       else fun () -> Upskiplist.Skiplist.audit_persistent sl);
+    corrupt = (fun what -> Upskiplist.Skiplist.corrupt sl what);
     pmem;
     mem;
     pools = (Pmem.config pmem).Pmem.n_pools;
@@ -123,6 +135,8 @@ let make_bztree ?(leaf_capacity = 64) ?(fanout = 16) ?(n_descriptors = 500_000)
     quiesce = (fun ~tid:_ -> ());
     reconnect = (fun () -> Mem.reconnect mem);
     to_alist = (fun () -> Bztree.to_alist bz);
+    audit = (fun () -> []);
+    corrupt = (fun _ -> false);
     pmem;
     mem;
     pools = (Pmem.config pmem).Pmem.n_pools;
@@ -149,6 +163,8 @@ let make_pmdk_list ?(max_height = 24) sys =
     quiesce = (fun ~tid:_ -> ());
     reconnect = (fun () -> Pmdk.Tx.reconnect tx);
     to_alist = (fun () -> Pmdk.Lock_skiplist.to_alist sl);
+    audit = (fun () -> []);
+    corrupt = (fun _ -> false);
     pmem;
     mem;
     pools = (Pmem.config pmem).Pmem.n_pools;

@@ -16,6 +16,13 @@ type t = {
       (** free deferred reclamation work; fiber context, no ops in flight *)
   reconnect : unit -> unit;
   to_alist : unit -> (int * int) list;
+  audit : unit -> string list;
+      (** persistent-heap invariant violations, host-side peeks at the
+          persistent image (empty = clean); structures without a persistent
+          auditor return [] *)
+  corrupt : string -> bool;
+      (** test-only fault injection for harness self-validation (see
+          {!Upskiplist.Skiplist.corrupt}); [false] = not applicable *)
   pmem : Pmem.t;
   mem : Memory.Mem.t;
   pools : int;

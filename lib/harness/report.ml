@@ -96,6 +96,48 @@ let latency_table ~title ~rows =
     ~headers:("operation" :: List.map (fun p -> Printf.sprintf "p%g (us)" p) percentiles)
     ~rows
 
+(* ---- fault-injection campaign summary ----------------------------------- *)
+
+(* One-row digest of an adversarial crash campaign: trial/crash coverage,
+   audit verdicts, and the min/median/max of the modeled per-trial recovery
+   time (milliseconds) across crashed trials. *)
+let campaign_summary ~name ~trials ~crashed ~crash_points ~draws ~total_crashes
+    ~audit_passes ~audit_failures ~violation_trials ~recovery_ns =
+  subheading (Printf.sprintf "campaign: %s" name);
+  let ms x = f2 (x /. 1.0e6) in
+  let sorted = List.sort compare recovery_ns in
+  let n = List.length sorted in
+  let rec_stats =
+    if n = 0 then [ "-"; "-"; "-" ]
+    else
+      [
+        ms (List.nth sorted 0);
+        ms (List.nth sorted (n / 2));
+        ms (List.nth sorted (n - 1));
+      ]
+  in
+  table
+    ~headers:
+      [
+        "trials"; "crashed"; "points"; "draws/pt"; "crashes"; "audits";
+        "audit fails"; "lin fails"; "rec min (ms)"; "rec med (ms)";
+        "rec max (ms)";
+      ]
+    ~rows:
+      [
+        [
+          string_of_int trials;
+          string_of_int crashed;
+          string_of_int crash_points;
+          string_of_int draws;
+          string_of_int total_crashes;
+          string_of_int audit_passes;
+          string_of_int audit_failures;
+          string_of_int violation_trials;
+        ]
+        @ rec_stats;
+      ]
+
 (* ---- JSON perf trajectory (bench --json) ------------------------------- *)
 
 (* One record per executed experiment: host wall-clock (optionally paired

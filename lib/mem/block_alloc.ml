@@ -269,3 +269,116 @@ let free_list_length t ~pool ~arena =
     else count (Mem.peek_ptr t cur Mem.hdr_next) (acc + 1)
   in
   count (Mem.peek_ptr t (Mem.arena_head_ptr ~pool ~arena) 0) 0
+
+(* ---- persistent-heap audit (host side, peeks only) ---------------------- *)
+
+(* Account for every block of every registered chunk in the *persistent*
+   image: each must be on a free list, reachable from the structure
+   ([reachable], supplied by the structure's own persistent walk), or named
+   by a thread's allocation / chunk-provision log — the paper's "a crash
+   cannot leak the block" claim, checked literally. Also flags the converse
+   corruption (a freed block still reachable) and dangling or cyclic free
+   lists. Log entries excuse their block regardless of epoch (a stale entry
+   over-approximates, which can hide a leak but never fabricates one).
+
+   Requires physical reclamation to be off: retired-but-unfreed nodes live
+   only in DRAM retire lists and would read as leaks. *)
+let audit t ~reachable =
+  let errs = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
+  let pools = Mem.n_pools t in
+  let per_pool_chunks =
+    Array.init pools (fun pool -> Mem.persistent_chunks t ~pool)
+  in
+  let chunk_base = Hashtbl.create 64 in
+  let total_blocks = ref 0 in
+  Array.iteri
+    (fun pool chunks ->
+      List.iter
+        (fun (id, base) ->
+          Hashtbl.replace chunk_base (pool, id) base;
+          total_blocks := !total_blocks + Mem.blocks_per_chunk t)
+        chunks)
+    per_pool_chunks;
+  (* A reference is a valid block boundary iff it names a registered chunk
+     at a block-aligned in-range offset. *)
+  let valid_block p =
+    (not (Riv.is_null p))
+    && Riv.chunk p <> 0
+    && Hashtbl.mem chunk_base (Riv.pool p, Riv.chunk p)
+    && Riv.offset p mod t.Mem.block_words = 0
+    && Riv.offset p < t.Mem.chunk_words
+  in
+  let pk obj i = Mem.peek_field_persistent t obj i in
+  (* Thread logs: a valid allocation log excuses its block; a non-idle
+     chunk-provision log excuses the whole chunk (its blocks may be torn
+     mid-carve). *)
+  let excused_blocks = Hashtbl.create 32 in
+  let excused_chunks = Hashtbl.create 8 in
+  let log_word tid off =
+    Mem.peek_root_persistent t ~pool:0
+      ~word:(Mem.logs_start + (tid * Mem.log_words) + off)
+  in
+  for tid = 0 to Mem.max_threads - 1 do
+    if log_word tid log_state = state_valid then begin
+      let b = Riv.of_word (log_word tid log_block) in
+      if not (Riv.is_null b) then Hashtbl.replace excused_blocks (Riv.to_word b) ()
+    end;
+    if log_word tid clog_state <> cstate_none then
+      Hashtbl.replace excused_chunks (log_word tid clog_pool, log_word tid clog_chunk) ()
+  done;
+  (* Free-list membership: walk every arena chain in the persistent image.
+     Chains share tails across epochs, so a previously visited element ends
+     the walk (and doubles as cycle protection alongside the step bound). *)
+  let on_freelist = Hashtbl.create 256 in
+  let bound = !total_blocks + 16 in
+  for pool = 0 to pools - 1 do
+    for arena = 0 to t.Mem.n_arenas - 1 do
+      let head =
+        Riv.of_word (Mem.peek_root_persistent t ~pool ~word:(Mem.arena_heads + arena))
+      in
+      let rec walk p steps =
+        if Riv.is_null p then ()
+        else if steps > bound then
+          err "free list pool %d arena %d: cycle or runaway chain" pool arena
+        else if not (valid_block p) then
+          err "free list pool %d arena %d: dangling element %a" pool arena Riv.pp p
+        else if not (Hashtbl.mem on_freelist (Riv.to_word p)) then begin
+          Hashtbl.replace on_freelist (Riv.to_word p) ();
+          walk (Riv.of_word (pk p Mem.hdr_next)) (steps + 1)
+        end
+      in
+      walk head 0
+    done
+  done;
+  (* Every block of every registered (and unexcused) chunk must be
+     accounted for. *)
+  for pool = 0 to pools - 1 do
+    List.iter
+      (fun (id, _base) ->
+        if not (Hashtbl.mem excused_chunks (pool, id)) then
+          for i = 0 to Mem.blocks_per_chunk t - 1 do
+            let b = Riv.make ~pool ~chunk:id ~offset:(i * t.Mem.block_words) in
+            let w = Riv.to_word b in
+            let kind = pk b Mem.hdr_kind in
+            let listed = Hashtbl.mem on_freelist w in
+            let logged = Hashtbl.mem excused_blocks w in
+            if kind = Mem.kind_free && reachable b then
+              err "block %a: freed (kind free) but still reachable from the structure"
+                Riv.pp b
+            else begin
+              let ok =
+                if kind = Mem.kind_free then listed || logged
+                else if kind = Mem.kind_node then reachable b || listed || logged
+                else logged
+              in
+              if not ok then
+                err
+                  "leaked block %a (pool %d chunk %d): kind %d, unreachable, \
+                   off-freelist, unlogged"
+                  Riv.pp b pool id kind
+            end
+          done)
+      per_pool_chunks.(pool)
+  done;
+  List.rev !errs

@@ -149,6 +149,43 @@ let poke_field t obj i v = Pmem.poke t.pmem (resolve t obj + i) v
 let peek_ptr t obj i = Riv.of_word (peek_field t obj i)
 let poke_ptr t obj i p = poke_field t obj i (Riv.to_word p)
 
+(* ---- persistent-image accessors (heap audits) ------------------------- *)
+
+(* [try_resolve] is total: audits follow pointers read out of a possibly
+   torn persistent image, where a word may decode to a null or unregistered
+   reference — that is a finding to report, not an exception to die on. *)
+let try_resolve t p =
+  match resolve t p with
+  | a -> if Pmem.valid_addr t.pmem a then Some a else None
+  | exception Invalid_argument _ -> None
+
+let peek_field_persistent t obj i = Pmem.peek_persistent t.pmem (resolve t obj + i)
+let peek_ptr_persistent t obj i = Riv.of_word (peek_field_persistent t obj i)
+
+(* Peek a static root word of [pool] straight from the persistent image. *)
+let peek_root_persistent t ~pool ~word =
+  Pmem.peek_persistent t.pmem (Pmem.addr ~pool ~word)
+
+(* Chunks of [pool] present in the persistent registry: (id, base word)
+   pairs. Registry entries persist before any block of the chunk becomes
+   reachable (allocate_chunk flushes the entry under a fence), so this
+   enumeration covers every block a post-crash heap can reference. Chunk
+   bases are deterministic (chunk [id] lives at
+   [chunks_start + (id-1) * chunk_words]), so an entry holding anything
+   but exactly that base + 1 is noise, not a chunk — the scan validates
+   rather than trusts, since it reads a possibly-torn image. *)
+let persistent_chunks t ~pool =
+  let out = ref [] in
+  for id = max_chunks downto 1 do
+    let reg = peek_root_persistent t ~pool ~word:(registry_start + id) in
+    let base = chunks_start + ((id - 1) * t.chunk_words) in
+    if
+      reg = base + 1
+      && Pmem.valid_addr t.pmem (Pmem.addr ~pool ~word:(base + t.chunk_words - 1))
+    then out := (id, base) :: !out
+  done;
+  !out
+
 (* ---- static root allocation (setup only) ------------------------------ *)
 
 (* Reserve a raw word region from the chunk area at setup time (pokes).

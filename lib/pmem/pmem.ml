@@ -348,17 +348,30 @@ let machine t : Sim.Sched.machine =
 
 (* Power failure: dirty lines are lost unless the (simulated) hardware
    happened to evict them first. The volatile image is then rebuilt from the
-   persistent one, as a restarting process would see. *)
-let crash t =
+   persistent one, as a restarting process would see.
+
+   A dirty line is exactly a line written since its last flush, so every
+   subset of the dirty set is a fence-consistent persisted state: anything
+   program order forced to persist first was already flushed and is no
+   longer dirty. [persist_line] lets a caller decide the subset per line
+   (overriding the config's [eviction_probability] coin), which is how
+   fault-injection campaigns explore many distinct persisted states from
+   one pre-crash execution. *)
+let crash ?persist_line t =
+  let keep =
+    match persist_line with
+    | Some f -> f
+    | None ->
+        fun ~pool:_ ~line:_ ->
+          t.config.eviction_probability > 0.0
+          && Sim.Rng.float t.rng < t.config.eviction_probability
+  in
   Array.iter
     (fun p ->
       let n_lines = Bytes.length p.dirty in
       for line = 0 to n_lines - 1 do
         if Bytes.get p.dirty line = '\001' then begin
-          if
-            t.config.eviction_probability > 0.0
-            && Sim.Rng.float t.rng < t.config.eviction_probability
-          then begin
+          if keep ~pool:p.id ~line then begin
             let base = line * line_words in
             let upto = min (base + line_words) (Array.length p.volatile) in
             Array.blit p.volatile base p.persistent base (upto - base)
@@ -372,6 +385,18 @@ let crash t =
   Array.fill t.read_free_at 0 (Array.length t.read_free_at) 0.0;
   Array.fill t.write_free_at 0 (Array.length t.write_free_at) 0.0;
   t.crash_count <- t.crash_count + 1
+
+(* Lines written since their last flush — the candidates a crash decides
+   over (diagnostics / campaign reporting). *)
+let dirty_line_count t =
+  let n = ref 0 in
+  Array.iter
+    (fun p ->
+      for line = 0 to Bytes.length p.dirty - 1 do
+        if Bytes.get p.dirty line = '\001' then incr n
+      done)
+    t.pools;
+  !n
 
 (* Clean shutdown: everything reaches the persistence domain (the kernel
    flushes caches when unmapping a DAX file). *)
@@ -387,6 +412,14 @@ let clean_shutdown t =
 
 let peek t a = (get_pool t a).volatile.(word_of a)
 let peek_persistent t a = (get_pool t a).persistent.(word_of a)
+
+(* Whether [a] names a mapped word — audits use this to follow pointers
+   decoded from a possibly-garbage persistent image without raising. *)
+let valid_addr t a =
+  let p = pool_of a in
+  p >= 0
+  && p < Array.length t.pools
+  && word_of a < Array.length t.pools.(p).volatile
 
 (* Write-through poke: updates both images, used for initialisation. *)
 let poke t a v =

@@ -89,9 +89,20 @@ val machine : t -> Sim.Sched.machine
 
 (** {1 Crash model} *)
 
-val crash : t -> unit
+val crash : ?persist_line:(pool:int -> line:int -> bool) -> t -> unit
 (** Power failure: drop unflushed lines (modulo [eviction_probability]) and
-    rebuild the volatile image from the persistent one. *)
+    rebuild the volatile image from the persistent one.
+
+    [persist_line] overrides the eviction coin: it is asked once per dirty
+    line and decides whether that line reaches the persistent image. Any
+    per-line answer yields a fence-consistent persisted state (a dirty line
+    is precisely one written since its last flush), so adversarial
+    campaigns can explore many distinct persisted states of one pre-crash
+    execution deterministically. *)
+
+val dirty_line_count : t -> int
+(** Number of lines currently written-but-unflushed — the set a crash
+    decides over. *)
 
 val clean_shutdown : t -> unit
 (** Flush everything (unmapping a DAX file writes back all lines). *)
@@ -100,6 +111,11 @@ val clean_shutdown : t -> unit
 
 val peek : t -> Sim.Sched.addr -> int
 val peek_persistent : t -> Sim.Sched.addr -> int
+
+val valid_addr : t -> Sim.Sched.addr -> bool
+(** Whether the address names a mapped word (pool and offset in range) —
+    lets audits follow pointers decoded from a torn persistent image
+    without raising. *)
 
 val poke : t -> Sim.Sched.addr -> int -> unit
 (** Write-through store to both images. *)

@@ -55,6 +55,95 @@ let test_striped_campaign () =
   let sys = { fast_sys with mode = Pmem.Striped } in
   campaign "UPSkipList/striped" (fun () -> Harness.Kv.make_upskiplist sys) ~trials:3
 
+(* ---- adversarial campaigns (Fault) -------------------------------------- *)
+
+module Fault = Harness.Fault
+
+let adversarial_base =
+  {
+    Fault.default_spec with
+    threads = 4;
+    keyspace = 120;
+    ops_per_thread = 100;
+    crash_at = 6_000;
+    draw_seed = 3;
+  }
+
+let run_spec_exn spec =
+  match Fault.run_spec spec with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let expect_clean name (r : Fault.result) =
+  List.iter
+    (fun v -> Fmt.epr "%s: %a@." name Lincheck.Checker.pp_violation v)
+    r.Fault.violations;
+  List.iter (fun e -> Fmt.epr "%s audit: %s@." name e) r.Fault.audit_errors;
+  check_bool (name ^ ": clean") true (not (Fault.failed r))
+
+(* Dirty-line subset adversary: the same pre-crash execution (same seed and
+   crash point), several persisted-state draws — every draw must recover to
+   a consistent structure, and the same draw twice must reproduce the exact
+   same trial. *)
+let test_subset_adversary_draws () =
+  let base = { adversarial_base with adversary = Fault.Subset 0.5 } in
+  List.iter
+    (fun draw ->
+      let r = run_spec_exn { base with draw_seed = draw } in
+      check_bool "trial crashed" true (r.Fault.crashes > 0);
+      check_int
+        (Fmt.str "draw %d: identical pre-crash execution (crash point)" draw)
+        base.Fault.crash_at r.Fault.crash_events;
+      expect_clean (Fmt.str "UPSkipList/subset draw %d" draw) r)
+    [ 1; 2; 3; 4 ];
+  let a = run_spec_exn { base with draw_seed = 2 } in
+  let b = run_spec_exn { base with draw_seed = 2 } in
+  check_int "same draw: same crash count" a.Fault.crashes b.Fault.crashes;
+  Alcotest.(check (float 0.0))
+    "same draw: same recovery time" a.Fault.recovery_ns b.Fault.recovery_ns;
+  check_pairs "same draw: identical final state"
+    (a.Fault.kv.Harness.Kv.to_alist ())
+    (b.Fault.kv.Harness.Kv.to_alist ())
+
+(* Multi-crash campaign: every workload round is crashed, and the recovery
+   fiber itself runs under crash points up to depth 2. *)
+let test_upskiplist_multi_crash_campaign () =
+  let c =
+    {
+      Fault.base = { adversarial_base with depth = 2; rounds = 2 };
+      grid = { Fault.origin = 4_000; stride = 3_000; points = 2; jitter = 400 };
+      draws = 2;
+    }
+  in
+  let s = Fault.run_campaign c in
+  check_int "every trial crashed" s.Fault.trials s.Fault.crashed_trials;
+  check_bool "audits ran after every completed recovery" true
+    (s.Fault.audit_passes >= s.Fault.trials);
+  List.iter
+    (fun ((spec : Fault.spec), r) ->
+      Fmt.epr "failing replay: %s@." (Fault.spec_to_string spec);
+      expect_clean "UPSkipList/multi-crash" r)
+    s.Fault.failures;
+  check_int "no failing trials" 0 (List.length s.Fault.failures)
+
+(* BzTree's recovery fiber does real work (PMwCAS descriptor scan), so the
+   depth-2 adversary actually crashes recovery itself: more power failures
+   than trials. *)
+let test_bztree_crash_during_recovery () =
+  let c =
+    {
+      Fault.base =
+        { adversarial_base with structure = "bztree"; depth = 2; draw_seed = 17 };
+      grid = { Fault.origin = 5_000; stride = 4_000; points = 2; jitter = 300 };
+      draws = 2;
+    }
+  in
+  let s = Fault.run_campaign c in
+  check_int "every trial crashed" s.Fault.trials s.Fault.crashed_trials;
+  check_bool "recovery itself was crashed" true
+    (s.Fault.total_crashes > s.Fault.crashed_trials);
+  check_int "no failing trials" 0 (List.length s.Fault.failures)
+
 let () =
   Alcotest.run "crash_campaign"
     [
@@ -67,5 +156,14 @@ let () =
           slow_case "bztree x4" test_bztree_campaign;
           slow_case "pmdk x4" test_pmdk_campaign;
           slow_case "upskiplist striped x3" test_striped_campaign;
+        ] );
+      ( "adversarial",
+        [
+          slow_case "subset adversary: draws recover consistently"
+            test_subset_adversary_draws;
+          slow_case "multi-crash depth-2 campaign (upskiplist)"
+            test_upskiplist_multi_crash_campaign;
+          slow_case "crash during recovery (bztree)"
+            test_bztree_crash_during_recovery;
         ] );
     ]
