@@ -15,6 +15,7 @@
 module Kv = Harness.Kv
 module Driver = Harness.Driver
 module Report = Harness.Report
+module Fault = Harness.Fault
 module W = Ycsb.Workload
 module Stats = Sim.Stats
 
@@ -230,14 +231,14 @@ let fig_5_5_5_6_table_5_3 () =
         (fun ((spec : W.spec), (res : Driver.result)) ->
           let rows =
             List.filter_map
-              (fun (label, stats) ->
-                if Stats.count stats = 0 then None
-                else Some (Report.latency_row label stats))
+              (fun (label, hist) ->
+                if Sim.Histogram.count hist = 0 then None
+                else Some (Report.latency_row label hist))
               [
-                ("reads", res.Driver.read_lat);
-                ("updates", res.Driver.update_lat);
-                ("inserts", res.Driver.insert_lat);
-                ("scans", res.Driver.scan_lat);
+                ("reads", res.Driver.read_hist);
+                ("updates", res.Driver.update_hist);
+                ("inserts", res.Driver.insert_hist);
+                ("scans", res.Driver.scan_hist);
               ]
           in
           Report.latency_table
@@ -760,6 +761,69 @@ let smoke () =
         ~x_label:"threads" ~x_values:threads_sweep ~columns)
     [ W.a; W.c ]
 
+(* ---- observability artifacts (--trace / --metrics-json) ------------------------ *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Instrumented passes: a YCSB A run with per-op counter attribution
+   (optionally recording a Chrome trace of it) and a small crash-recovery
+   campaign whose counter digest isolates the lazy-repair cost. Both are
+   deterministic: the same seed yields byte-identical artifacts. *)
+let obs_artifacts ~trace_path ~metrics_path () =
+  Report.heading
+    "Observability — per-op counter attribution (YCSB A + crash recovery)";
+  let kv = Kv.make_upskiplist ~cfg:bench_cfg striped_sys in
+  let n = 2_000 in
+  Driver.preload kv ~threads:4 ~n;
+  Obs.reset ();
+  if trace_path <> None then Obs.Trace.start ~capacity:(1 lsl 16) ();
+  let res =
+    Driver.run_workload kv ~spec:W.a ~threads:8 ~n_initial:n
+      ~ops_per_thread:200 ~seed
+  in
+  Obs.Trace.stop ();
+  (match trace_path with
+  | Some path ->
+      write_file path (Obs.Trace.to_chrome_string ());
+      Fmt.pr "trace: %d events (%d dropped) -> %s@." (Obs.Trace.recorded ())
+        (Obs.Trace.dropped ()) path
+  | None -> ());
+  let ycsb_digests =
+    List.map
+      (fun d -> (d.Driver.op, d.Driver.count, d.Driver.totals))
+      res.Driver.digests
+  in
+  Report.digest_table
+    ~title:"YCSB A per-op persistence cost (UPSkipList, 8 threads)"
+    ycsb_digests;
+  (* crash-recovery campaign: two rounds per trial, so round 1 runs on a
+     freshly crashed structure and performs its lazy repairs inline *)
+  let before = Obs.totals () in
+  let campaign =
+    {
+      Fault.base = { Fault.default_spec with rounds = 2; seed };
+      grid = { Fault.origin = 8_000; stride = 6_000; points = 2; jitter = 500 };
+      draws = 1;
+    }
+  in
+  let s = Fault.run_campaign campaign in
+  Fault.print_summary ~name:"observability crash-recovery digest" s;
+  let after = Obs.totals () in
+  let delta = Array.init Obs.n_ids (fun id -> after.(id) - before.(id)) in
+  let recovery_digests = [ ("trial", s.Fault.trials, delta) ] in
+  Report.digest_table
+    ~title:"crash-recovery campaign counter digest (per crashed trial)"
+    recovery_digests;
+  match metrics_path with
+  | Some path ->
+      Report.write_metrics_json ~path ~label:"bench observability" ~seed
+        [ ("ycsb-a", ycsb_digests); ("crash-recovery", recovery_digests) ];
+      Fmt.pr "metrics written to %s@." path
+  | None -> ()
+
 (* ---- registry ------------------------------------------------------------------ *)
 
 let experiments =
@@ -813,6 +877,8 @@ let () =
   Gc.set { (Gc.get ()) with minor_heap_size = 1 lsl 22; space_overhead = 200 };
   let json_path = ref None in
   let wall_baseline = ref [] in
+  let trace_path = ref None in
+  let metrics_path = ref None in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--full" :: rest ->
@@ -827,11 +893,24 @@ let () =
         parse acc rest
     | [ "--wall-baseline-file" ] ->
         failwith "--wall-baseline-file requires a file argument"
+    | "--trace" :: path :: rest ->
+        trace_path := Some path;
+        parse acc rest
+    | [ "--trace" ] -> failwith "--trace requires a file argument"
+    | "--metrics-json" :: path :: rest ->
+        metrics_path := Some path;
+        parse acc rest
+    | [ "--metrics-json" ] -> failwith "--metrics-json requires a file argument"
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let selected =
-    match args with [] | [ "all" ] -> default_set | names -> names
+    match args with
+    (* asking only for observability artifacts runs only the instrumented
+       passes, not the whole default figure set *)
+    | [] when !trace_path <> None || !metrics_path <> None -> []
+    | [] | [ "all" ] -> default_set
+    | names -> names
   in
   let t0 = Unix.gettimeofday () in
   let figures = ref [] in
@@ -862,6 +941,11 @@ let () =
           Fmt.epr "unknown experiment %S; available: %s@." name
             (String.concat ", " (List.map fst experiments)))
     selected;
+  (if !trace_path <> None || !metrics_path <> None then begin
+     let t = Unix.gettimeofday () in
+     obs_artifacts ~trace_path:!trace_path ~metrics_path:!metrics_path ();
+     Fmt.pr "@.[observability finished in %.1f s]@." (Unix.gettimeofday () -. t)
+   end);
   let total_wall_s = Unix.gettimeofday () -. t0 in
   Fmt.pr "@.total wall time: %.1f s@." total_wall_s;
   match !json_path with

@@ -94,16 +94,16 @@ let run_cmd structure mode workload threads keys ops seed descriptors =
   Fmt.pr "  span        %.3f ms simulated for %d ops@."
     (res.Driver.sim_ns /. 1e6) res.Driver.ops;
   List.iter
-    (fun (label, stats) ->
-      if Sim.Stats.count stats > 0 then
+    (fun (label, hist) ->
+      if Sim.Histogram.count hist > 0 then
         Fmt.pr "  %-8s p50 %.1f us   p99 %.1f us   p99.9 %.1f us@." label
-          (Sim.Stats.percentile stats 50.0 /. 1e3)
-          (Sim.Stats.percentile stats 99.0 /. 1e3)
-          (Sim.Stats.percentile stats 99.9 /. 1e3))
+          (Sim.Histogram.percentile hist 50.0 /. 1e3)
+          (Sim.Histogram.percentile hist 99.0 /. 1e3)
+          (Sim.Histogram.percentile hist 99.9 /. 1e3))
     [
-      ("reads", res.Driver.read_lat);
-      ("updates", res.Driver.update_lat);
-      ("inserts", res.Driver.insert_lat);
+      ("reads", res.Driver.read_hist);
+      ("updates", res.Driver.update_hist);
+      ("inserts", res.Driver.insert_hist);
     ];
   0
 
@@ -111,6 +111,75 @@ let run_term =
   Term.(
     const run_cmd $ structure_t $ mode_t $ workload_t $ threads_t $ keys_t
     $ ops_t $ seed_t $ descriptors_t)
+
+(* ---- trace --------------------------------------------------------------------- *)
+
+(* Record an event trace of a workload run and export it as Chrome
+   trace_event JSON (open in about://tracing or https://ui.perfetto.dev).
+   The preload runs untraced; counters are reset after it so the digest
+   and metrics attribute the traced window only. Deterministic: the same
+   seed produces byte-identical artifacts. *)
+let trace_cmd structure mode workload threads keys ops seed descriptors out
+    metrics_out capacity =
+  let kv = make_kv structure mode descriptors in
+  let spec = Ycsb.Workload.by_label workload in
+  Fmt.pr "preloading %d keys into %s...@." keys kv.Kv.name;
+  Driver.preload kv ~threads:(min threads 8) ~n:keys;
+  Obs.reset ();
+  Obs.Trace.start ~capacity ();
+  let res =
+    Driver.run_workload kv ~spec ~threads ~n_initial:keys
+      ~ops_per_thread:(max 1 (ops / threads))
+      ~seed
+  in
+  Obs.Trace.stop ();
+  let oc = open_out out in
+  output_string oc (Obs.Trace.to_chrome_string ());
+  close_out oc;
+  Fmt.pr "trace: %d events (%d dropped) -> %s@." (Obs.Trace.recorded ())
+    (Obs.Trace.dropped ()) out;
+  let digests =
+    List.map
+      (fun d -> (d.Driver.op, d.Driver.count, d.Driver.totals))
+      res.Driver.digests
+  in
+  Harness.Report.digest_table
+    ~title:
+      (Printf.sprintf "workload %s per-op persistence cost (%s, %d threads)"
+         spec.Ycsb.Workload.label kv.Kv.name threads)
+    digests;
+  (match metrics_out with
+  | Some path ->
+      Harness.Report.write_metrics_json ~path
+        ~label:
+          (Printf.sprintf "%s workload %s" kv.Kv.name spec.Ycsb.Workload.label)
+        ~seed
+        [ ("ycsb-" ^ spec.Ycsb.Workload.label, digests) ];
+      Fmt.pr "metrics written to %s@." path
+  | None -> ());
+  0
+
+let trace_out_t =
+  Arg.(
+    value & opt string "upskip.trace.json"
+    & info [ "out" ] ~doc:"Chrome trace_event JSON output file.")
+
+let trace_metrics_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics-json" ] ~doc:"Also write per-op counter digests as JSON.")
+
+let trace_capacity_t =
+  Arg.(
+    value & opt int 65_536
+    & info [ "capacity" ]
+        ~doc:"Trace ring capacity in events (oldest events drop beyond it).")
+
+let trace_term =
+  Term.(
+    const trace_cmd $ structure_t $ mode_t $ workload_t $ threads_t $ keys_t
+    $ ops_t $ seed_t $ descriptors_t $ trace_out_t $ trace_metrics_t
+    $ trace_capacity_t)
 
 (* ---- crash-test -------------------------------------------------------------- *)
 
@@ -398,6 +467,12 @@ let demo_term = Term.(const demo_cmd $ const ())
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run a YCSB workload and report throughput/latency.") run_term;
+    Cmd.v
+      (Cmd.info "trace"
+         ~doc:
+           "Record a deterministic event trace of a workload run and export \
+            Chrome trace_event JSON plus per-op counter digests.")
+      trace_term;
     Cmd.v
       (Cmd.info "crash-test"
          ~doc:"Crash trials with strict-linearizability analysis.")

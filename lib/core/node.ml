@@ -73,17 +73,26 @@ let next mem ly n level = Riv.of_word (unmark (next_raw mem ly n level))
 
 let set_next mem ly n level p = Mem.write_ptr mem n (ly.o_next + level) p
 
+(* Structure-level CAS accounting: every node-field or lock CAS bumps the
+   per-fiber attempt/failure counters, attributed via the scheduler's
+   current tid (node CASes only ever run in fiber context). *)
+let counted ok =
+  let tid = Sim.Sched.self () in
+  Obs.bump ~tid Obs.id_cas;
+  if not ok then Obs.bump ~tid Obs.id_cas_fail;
+  ok
+
 let cas_next mem ly n level ~expected ~desired =
-  Mem.cas_ptr mem n (ly.o_next + level) ~expected ~desired
+  counted (Mem.cas_ptr mem n (ly.o_next + level) ~expected ~desired)
 
 let cas_key mem n i ~expected ~desired =
-  Mem.cas_field mem n (o_keys + i) ~expected ~desired
+  counted (Mem.cas_field mem n (o_keys + i) ~expected ~desired)
 
 let cas_value mem ly n i ~expected ~desired =
-  Mem.cas_field mem n (ly.o_values + i) ~expected ~desired
+  counted (Mem.cas_field mem n (ly.o_values + i) ~expected ~desired)
 
 let cas_epoch mem n ~expected ~desired =
-  Mem.cas_field mem n o_epoch ~expected ~desired
+  counted (Mem.cas_field mem n o_epoch ~expected ~desired)
 
 let persist_next mem ly n level = Mem.persist_field mem n (ly.o_next + level)
 let persist_value mem ly n i = Mem.persist_field mem n (ly.o_values + i)
@@ -109,6 +118,9 @@ module Lock = struct
   let stamp_shift = 42
 
   let word mem n = Mem.read_field mem n o_lock
+
+  let lock_cas mem n ~expected ~desired =
+    counted (Mem.cas_field mem n o_lock ~expected ~desired)
 
   let is_write_locked w = w land writer_bit <> 0
   let stamp w = w lsr stamp_shift
@@ -137,7 +149,7 @@ module Lock = struct
     else begin
       let r = readers_at ~epoch w in
       if
-        Mem.cas_field mem n o_lock ~expected:w
+        lock_cas mem n ~expected:w
           ~desired:(make_word ~epoch ~writer:false ~readers:(r + 1))
       then true
       else read_lock mem n
@@ -147,7 +159,7 @@ module Lock = struct
      a plain decrement preserves it (including any intent bit). *)
   let rec read_unlock mem n =
     let w = word mem n in
-    if not (Mem.cas_field mem n o_lock ~expected:w ~desired:(w - 1)) then
+    if not (lock_cas mem n ~expected:w ~desired:(w - 1)) then
       read_unlock mem n
 
   (* Single-shot write-lock attempt: fails while any current-epoch reader or
@@ -157,7 +169,7 @@ module Lock = struct
     let w = word mem n in
     (not (is_write_locked w))
     && readers_at ~epoch w = 0
-    && Mem.cas_field mem n o_lock ~expected:w
+    && lock_cas mem n ~expected:w
          ~desired:(make_word ~epoch ~writer:true ~readers:0)
 
   (* Acquire the write lock with declared intent: new readers are refused
@@ -176,7 +188,7 @@ module Lock = struct
           stamp w = epoch
           && w land intent_bit <> 0
           && not
-               (Mem.cas_field mem n o_lock ~expected:w
+               (lock_cas mem n ~expected:w
                   ~desired:(w land lnot intent_bit))
         then clear ()
       in
@@ -192,7 +204,7 @@ module Lock = struct
         if is_write_locked w then false (* another writer; it clears intent *)
         else if readers_at ~epoch w = 0 then begin
           if
-            Mem.cas_field mem n o_lock ~expected:w
+            lock_cas mem n ~expected:w
               ~desired:(make_word ~epoch ~writer:true ~readers:0)
           then true
           else round budget
@@ -201,7 +213,7 @@ module Lock = struct
           (* declare (or refresh) intent, then wait for readers to drain *)
           if not (intent_at ~epoch w) then
             ignore
-              (Mem.cas_field mem n o_lock ~expected:w
+              (lock_cas mem n ~expected:w
                  ~desired:
                    ((epoch lsl stamp_shift) lor intent_bit
                    lor (readers_at ~epoch w)));

@@ -83,6 +83,13 @@ let create ~mem ~cfg ~max_threads ~seed =
     reclaim;
   }
 
+(* Structure-phase accounting: bump the per-fiber counter for [id] and, when
+   tracing, drop an instant event at the current virtual time. *)
+let obs_event ~tid id arg =
+  Obs.bump ~tid id;
+  if !Obs.Trace.enabled then
+    Obs.Trace.emit ~ts:(Sim.Sched.now ()) ~tid ~kind:id ~arg ~farg:0.0
+
 let random_height t ~tid =
   Sim.Rng.geometric t.height_rngs.(tid) ~p:t.cfg.Config.branching_p
     ~max_value:t.cfg.Config.max_height
@@ -167,8 +174,9 @@ let mark_all_levels t n =
     mark ()
   done
 
-let check_split_recovery t n =
+let check_split_recovery t ~tid n =
   if Node.Lock.is_write_locked (Node.Lock.word t.mem n) then begin
+    obs_event ~tid Obs.id_split_repair 0;
     if t.cfg.Config.reclaim_empty_nodes && all_tombstone t n then
       (* an interrupted *retirement*, not a split: resume it — re-mark all
          levels and leave the node write-locked; traversals snip it and the
@@ -229,6 +237,7 @@ let rec traverse t ~tid ~recover key =
           && check_for_recovery t ~tid ~cur:!cur ~recoveries:!recoveries
         then begin
           incr recoveries;
+          obs_event ~tid Obs.id_restart key;
           restart := true
         end
         else if
@@ -239,8 +248,11 @@ let rec traverse t ~tid ~recover key =
           (* [cur] is retired: snip it out of this level and persist the
              snip immediately (Section 4.4's recoverable snipping) *)
           let succ = Node.next t.mem t.ly !cur !level in
-          if Node.cas_next t.mem t.ly !pred !level ~expected:!cur ~desired:succ
-          then Node.persist_next t.mem t.ly !pred !level;
+          (if Node.cas_next t.mem t.ly !pred !level ~expected:!cur ~desired:succ
+           then begin
+             Node.persist_next t.mem t.ly !pred !level;
+             obs_event ~tid Obs.id_help !level
+           end);
           cur := Node.next t.mem t.ly !pred !level
         end
         else begin
@@ -291,9 +303,10 @@ and check_for_recovery t ~tid ~cur ~recoveries =
       then false (* another thread claimed this node *)
       else begin
         Mem.persist_field t.mem cur Node.o_epoch;
+        obs_event ~tid Obs.id_epoch_repair 0;
         if Riv.equal cur t.tail then false
         else begin
-          check_split_recovery t cur;
+          check_split_recovery t ~tid cur;
           check_insert_recovery t ~tid cur;
           true
         end
@@ -316,9 +329,11 @@ and check_insert_recovery t ~tid cur =
       while !start < h && Riv.equal f.preds.(!start) cur do
         incr start
       done;
-      if !start < h then
+      if !start < h then begin
+        obs_event ~tid Obs.id_tower_repair k0;
         link_higher_levels t ~tid ~node:cur ~start:!start ~node_height:h
           ~preds:f.preds ~succs:f.succs
+      end
     end
   end
 
@@ -478,6 +493,7 @@ let split_node t ~tid ~preds ~succs =
         Node.cas_next t.mem t.ly pred0 0 ~expected:succs.(0) ~desired:node
       then begin
         Node.persist_next t.mem t.ly pred0 0;
+        obs_event ~tid Obs.id_split (List.hd new_keys);
         let sc = Node.split_count t.mem pred0 in
         Mem.write_field t.mem pred0 Node.o_split_count (sc + 1);
         Mem.persist_field t.mem pred0 Node.o_split_count;

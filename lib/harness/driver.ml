@@ -3,9 +3,23 @@
    Workload streams are pre-generated (Ycsb.Workload.generate) and played
    back by one fiber per simulated thread; per-operation latencies are
    virtual-time differences, and throughput is total operations over the
-   longest thread's virtual span — the same methodology as the thesis. *)
+   longest thread's virtual span — the same methodology as the thesis.
+
+   Each operation is also attributed its observability-counter deltas: a
+   fiber snapshots its own Obs row before the op and charges the difference
+   to the op's type afterwards. Rows are per-fiber, so interleaved fibers
+   never pollute each other's attribution, and the snapshot arrays are
+   per-fiber scratch — the per-op cost is one row copy and one 16-entry
+   diff, with no allocation. *)
 
 module Stats = Sim.Stats
+module Histogram = Sim.Histogram
+
+type op_digest = {
+  op : string;  (* "read" / "update" / "insert" / "scan" *)
+  count : int;
+  totals : int array;  (* Obs.n_ids cells, summed counter deltas *)
+}
 
 type result = {
   ops : int;
@@ -15,6 +29,11 @@ type result = {
   update_lat : Stats.t;
   insert_lat : Stats.t;
   scan_lat : Stats.t;
+  read_hist : Histogram.t;
+  update_hist : Histogram.t;
+  insert_hist : Histogram.t;
+  scan_hist : Histogram.t;
+  digests : op_digest list;
 }
 
 (* Unique nonzero values below BzTree's 2^50 key/value bound. *)
@@ -35,6 +54,8 @@ let preload (kv : Kv.t) ~threads ~n =
   | Sim.Sched.Completed _ -> ()
   | Sim.Sched.Crashed_at _ -> failwith "Driver.preload: unexpected crash"
 
+let op_labels = [| "read"; "update"; "insert"; "scan" |]
+
 let run_workload (kv : Kv.t) ~spec ~threads ~n_initial ~ops_per_thread ~seed =
   let streams =
     Ycsb.Workload.generate ~seed ~spec ~n_initial ~threads ~ops_per_thread
@@ -43,11 +64,31 @@ let run_workload (kv : Kv.t) ~spec ~threads ~n_initial ~ops_per_thread ~seed =
   and update_lat = Stats.create ()
   and insert_lat = Stats.create ()
   and scan_lat = Stats.create () in
+  let read_hist = Histogram.create ()
+  and update_hist = Histogram.create ()
+  and insert_hist = Histogram.create ()
+  and scan_hist = Histogram.create () in
+  (* op-code-indexed counter-delta accumulators (shared across fibers: the
+     host is single-threaded, fibers interleave only at simulated yields) *)
+  let acc = Array.init 4 (fun _ -> Array.make Obs.n_ids 0) in
+  let acc_n = Array.make 4 0 in
   let body ~tid =
     let stream = streams.(tid) in
+    let before = Array.make Obs.n_ids 0 in
     Array.iteri
       (fun seq op ->
+        let code =
+          match op with
+          | Ycsb.Workload.Read _ -> 0
+          | Ycsb.Workload.Update _ -> 1
+          | Ycsb.Workload.Insert _ -> 2
+          | Ycsb.Workload.Scan _ -> 3
+        in
+        Obs.read_row ~tid ~into:before;
         let t0 = Sim.Sched.now () in
+        if !Obs.Trace.enabled then
+          Obs.Trace.emit ~ts:t0 ~tid ~kind:Obs.Trace.k_op_begin ~arg:code
+            ~farg:0.0;
         (match op with
         | Ycsb.Workload.Read k -> ignore (kv.Kv.search ~tid k)
         | Ycsb.Workload.Update k ->
@@ -56,12 +97,29 @@ let run_workload (kv : Kv.t) ~spec ~threads ~n_initial ~ops_per_thread ~seed =
             ignore (kv.Kv.upsert ~tid k (value_of ~tid ~seq))
         | Ycsb.Workload.Scan (k, len) ->
             ignore (kv.Kv.range ~tid ~lo:k ~hi:(k + len)));
-        let dt = Sim.Sched.now () -. t0 in
+        let t1 = Sim.Sched.now () in
+        if !Obs.Trace.enabled then
+          Obs.Trace.emit ~ts:t1 ~tid ~kind:Obs.Trace.k_op_end ~arg:code
+            ~farg:0.0;
+        let dt = t1 -. t0 in
+        let a = acc.(code) in
+        acc_n.(code) <- acc_n.(code) + 1;
+        for id = 0 to Obs.n_ids - 1 do
+          a.(id) <- a.(id) + Obs.counter ~tid id - before.(id)
+        done;
         match op with
-        | Ycsb.Workload.Read _ -> Stats.add read_lat dt
-        | Ycsb.Workload.Update _ -> Stats.add update_lat dt
-        | Ycsb.Workload.Insert _ -> Stats.add insert_lat dt
-        | Ycsb.Workload.Scan _ -> Stats.add scan_lat dt)
+        | Ycsb.Workload.Read _ ->
+            Stats.add read_lat dt;
+            Histogram.add read_hist dt
+        | Ycsb.Workload.Update _ ->
+            Stats.add update_lat dt;
+            Histogram.add update_hist dt
+        | Ycsb.Workload.Insert _ ->
+            Stats.add insert_lat dt;
+            Histogram.add insert_hist dt
+        | Ycsb.Workload.Scan _ ->
+            Stats.add scan_lat dt;
+            Histogram.add scan_hist dt)
       stream
   in
   let outcome =
@@ -74,6 +132,19 @@ let run_workload (kv : Kv.t) ~spec ~threads ~n_initial ~ops_per_thread ~seed =
     | Sim.Sched.Crashed_at _ -> failwith "Driver.run_workload: unexpected crash"
   in
   let ops = threads * ops_per_thread in
+  let digests =
+    List.filter_map
+      (fun code ->
+        if acc_n.(code) = 0 then None
+        else
+          Some
+            {
+              op = op_labels.(code);
+              count = acc_n.(code);
+              totals = Array.copy acc.(code);
+            })
+      [ 0; 1; 2; 3 ]
+  in
   {
     ops;
     sim_ns;
@@ -82,6 +153,11 @@ let run_workload (kv : Kv.t) ~spec ~threads ~n_initial ~ops_per_thread ~seed =
     update_lat;
     insert_lat;
     scan_lat;
+    read_hist;
+    update_hist;
+    insert_hist;
+    scan_hist;
+    digests;
   }
 
 (* Average throughput over [trials] runs with distinct seeds (the paper

@@ -3,6 +3,14 @@
     per-operation latencies are virtual-time differences (the thesis's
     methodology). *)
 
+type op_digest = {
+  op : string;  (** "read" / "update" / "insert" / "scan" *)
+  count : int;  (** operations of this type executed *)
+  totals : int array;
+      (** [Obs.n_ids] cells: summed per-op counter deltas (flushes, fences,
+          CAS failures, restarts, repairs, …) attributed to this op type *)
+}
+
 type result = {
   ops : int;
   sim_ns : float;  (** simulated span of the whole run *)
@@ -11,6 +19,14 @@ type result = {
   update_lat : Sim.Stats.t;
   insert_lat : Sim.Stats.t;
   scan_lat : Sim.Stats.t;
+  read_hist : Sim.Histogram.t;
+      (** same latencies, log-bucketed (O(1) insert, ~0.8% percentiles) *)
+  update_hist : Sim.Histogram.t;
+  insert_hist : Sim.Histogram.t;
+  scan_hist : Sim.Histogram.t;
+  digests : op_digest list;
+      (** per-op-type counter attribution, op types in stream order; types
+          with zero executed ops are omitted *)
 }
 
 val value_of : tid:int -> seq:int -> int

@@ -79,6 +79,8 @@ type result = {
                            summed over completed recoveries *)
   crashes : int;  (* power failures injected (workload + recovery) *)
   crash_events : int;  (* events before the first crash; 0 = never crashed *)
+  repairs : int;  (* lazy-recovery repairs (epoch claims, interrupted
+                     splits, tower rebuilds) performed during the trial *)
   kv : Kv.t;
 }
 
@@ -144,7 +146,13 @@ let sweep_pending r =
    recovery fibers. *)
 let recovery_crash_window = 256
 
+let repair_total () =
+  Obs.total Obs.id_epoch_repair
+  + Obs.total Obs.id_split_repair
+  + Obs.total Obs.id_tower_repair
+
 let run_trial ?mutant ~make (spec : spec) =
+  let repairs_before = repair_total () in
   let kv : Kv.t = make () in
   let threads = spec.threads in
   let r = fresh_recorder ~max_threads:threads in
@@ -275,6 +283,7 @@ let run_trial ?mutant ~make (spec : spec) =
     recovery_ns = !recovery_ns;
     crashes = !crashes;
     crash_events = !first_crash_events;
+    repairs = repair_total () - repairs_before;
     kv;
   }
 
@@ -427,6 +436,7 @@ type summary = {
   audit_passes : int;
   audit_failures : int;  (* trials with a non-empty audit report *)
   violation_trials : int;
+  repairs : int;  (* lazy-recovery repairs summed over all trials *)
   recovery_ns : float list;  (* one total per crashed trial *)
   failures : (spec * result) list;  (* newest last *)
 }
@@ -444,7 +454,8 @@ let run_campaign ?make ?mutant (c : campaign) =
   and total_crashes = ref 0
   and audit_passes = ref 0
   and audit_failures = ref 0
-  and violation_trials = ref 0 in
+  and violation_trials = ref 0
+  and repairs = ref 0 in
   let recovery_ns = ref [] in
   let failures = ref [] in
   List.iteri
@@ -461,6 +472,7 @@ let run_campaign ?make ?mutant (c : campaign) =
         end;
         total_crashes := !total_crashes + res.crashes;
         audit_passes := !audit_passes + res.audits;
+        repairs := !repairs + res.repairs;
         if res.audit_errors <> [] then incr audit_failures;
         if res.violations <> [] then incr violation_trials;
         if failed res then failures := (spec, res) :: !failures
@@ -475,6 +487,7 @@ let run_campaign ?make ?mutant (c : campaign) =
     audit_passes = !audit_passes;
     audit_failures = !audit_failures;
     violation_trials = !violation_trials;
+    repairs = !repairs;
     recovery_ns = List.rev !recovery_ns;
     failures = List.rev !failures;
   }
@@ -484,7 +497,8 @@ let print_summary ~name (s : summary) =
     ~crash_points:(List.length (List.sort_uniq compare s.crash_points))
     ~draws:s.draws_per_point ~total_crashes:s.total_crashes
     ~audit_passes:s.audit_passes ~audit_failures:s.audit_failures
-    ~violation_trials:s.violation_trials ~recovery_ns:s.recovery_ns
+    ~violation_trials:s.violation_trials ~repairs:s.repairs
+    ~recovery_ns:s.recovery_ns
 
 (* ---- failure shrinking --------------------------------------------------- *)
 

@@ -63,6 +63,9 @@ type result = {
   crashes : int;  (** power failures injected (workload + recovery) *)
   crash_events : int;
       (** primitive events before the first crash; 0 = never crashed *)
+  repairs : int;
+      (** lazy-recovery repairs (epoch claims, interrupted splits, tower
+          rebuilds; from the Obs counters) performed during the trial *)
   kv : Kv.t;
 }
 
@@ -119,6 +122,7 @@ type summary = {
   audit_passes : int;
   audit_failures : int;  (** trials with a non-empty audit report *)
   violation_trials : int;
+  repairs : int;  (** lazy-recovery repairs summed over all trials *)
   recovery_ns : float list;  (** one total per crashed trial *)
   failures : (spec * result) list;
 }

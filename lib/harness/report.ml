@@ -34,6 +34,8 @@ let heading title =
 let subheading title = Fmt.pr "@.-- %s --@." title
 
 (* Print a table: column headers plus rows of strings, aligned. *)
+let pad width cell = Printf.sprintf "%-*s" width cell
+
 let table ~headers ~rows =
   let ncols = List.length headers in
   let widths = Array.make ncols 0 in
@@ -43,15 +45,11 @@ let table ~headers ~rows =
   measure headers;
   List.iter measure rows;
   let print_row row =
-    let cells =
-      List.mapi
-        (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell)
-        row
-    in
-    Fmt.pr "  %s@." (String.concat "  " cells)
+    Fmt.pr "  %s@."
+      (String.concat "  " (List.mapi (fun i cell -> pad widths.(i) cell) row))
   in
   print_row headers;
-  print_row (List.map (fun w -> String.make w '-') (Array.to_list widths |> List.map (fun w -> w)));
+  print_row (List.map (fun w -> String.make w '-') (Array.to_list widths));
   List.iter print_row rows
 
 let f1 x = Printf.sprintf "%.1f" x
@@ -86,9 +84,13 @@ let series ~title ~x_label ~x_values ~columns =
 
 let percentiles = [ 50.0; 90.0; 99.0; 99.9; 99.99 ]
 
-let latency_row name (stats : Sim.Stats.t) =
+(* Latency rows read from the log-bucketed histograms: O(1) per insert
+   during the run, each percentile within ~0.8% of the exact sample. *)
+let latency_row name (hist : Sim.Histogram.t) =
   name
-  :: List.map (fun p -> f2 (Sim.Stats.percentile stats p /. 1000.0)) percentiles
+  :: List.map
+       (fun p -> f2 (Sim.Histogram.percentile hist p /. 1000.0))
+       percentiles
 
 let latency_table ~title ~rows =
   subheading title;
@@ -102,7 +104,7 @@ let latency_table ~title ~rows =
    audit verdicts, and the min/median/max of the modeled per-trial recovery
    time (milliseconds) across crashed trials. *)
 let campaign_summary ~name ~trials ~crashed ~crash_points ~draws ~total_crashes
-    ~audit_passes ~audit_failures ~violation_trials ~recovery_ns =
+    ~audit_passes ~audit_failures ~violation_trials ~repairs ~recovery_ns =
   subheading (Printf.sprintf "campaign: %s" name);
   let ms x = f2 (x /. 1.0e6) in
   let sorted = List.sort compare recovery_ns in
@@ -120,7 +122,7 @@ let campaign_summary ~name ~trials ~crashed ~crash_points ~draws ~total_crashes
     ~headers:
       [
         "trials"; "crashed"; "points"; "draws/pt"; "crashes"; "audits";
-        "audit fails"; "lin fails"; "rec min (ms)"; "rec med (ms)";
+        "audit fails"; "lin fails"; "repairs"; "rec min (ms)"; "rec med (ms)";
         "rec max (ms)";
       ]
     ~rows:
@@ -134,6 +136,7 @@ let campaign_summary ~name ~trials ~crashed ~crash_points ~draws ~total_crashes
           string_of_int audit_passes;
           string_of_int audit_failures;
           string_of_int violation_trials;
+          string_of_int repairs;
         ]
         @ rec_stats;
       ]
@@ -207,4 +210,71 @@ let write_json ~path ~label ~scale ~total_wall_s ~baseline_total_wall_s figures 
   let oc = open_out path in
   output_string oc
     (json_of_run ~label ~scale ~total_wall_s ~baseline_total_wall_s figures);
+  close_out oc
+
+(* ---- observability counter digests -------------------------------------- *)
+
+(* A digest is (op label, op count, Obs-id-indexed counter totals); a
+   section groups the digests of one instrumented pass (a YCSB workload, a
+   crash-recovery campaign, ...). *)
+
+(* One row per counter id, one column per op type showing the total and
+   the per-op rate. Counters that are zero everywhere are elided. *)
+let digest_table ~title digests =
+  subheading title;
+  let interesting id =
+    List.exists (fun (_, _, totals) -> totals.(id) <> 0) digests
+  in
+  let headers =
+    "counter"
+    :: List.map (fun (op, count, _) -> Printf.sprintf "%s (n=%d)" op count)
+         digests
+  in
+  let rows =
+    List.filter_map
+      (fun id ->
+        if not (interesting id) then None
+        else
+          Some
+            (Obs.id_name id
+            :: List.map
+                 (fun (_, count, totals) ->
+                   Printf.sprintf "%d (%s/op)" totals.(id)
+                     (f2 (float_of_int totals.(id) /. float_of_int (max 1 count))))
+                 digests))
+      (List.init Obs.n_ids (fun id -> id))
+  in
+  table ~headers ~rows
+
+let json_of_digest (op, count, totals) =
+  let counters =
+    String.concat ", "
+      (List.init Obs.n_ids (fun id ->
+           Printf.sprintf "\"%s\": %d" (Obs.id_name id) totals.(id)))
+  in
+  let per_op =
+    String.concat ", "
+      (List.init Obs.n_ids (fun id ->
+           Printf.sprintf "\"%s\": %.4f" (Obs.id_name id)
+             (float_of_int totals.(id) /. float_of_int (max 1 count))))
+  in
+  Printf.sprintf
+    "      {\"op\": \"%s\", \"count\": %d, \"counters\": {%s}, \"per_op\": \
+     {%s}}"
+    (json_escape op) count counters per_op
+
+let json_of_metrics ~label ~seed sections =
+  let section (name, digests) =
+    Printf.sprintf "    {\"name\": \"%s\", \"ops\": [\n%s\n    ]}"
+      (json_escape name)
+      (String.concat ",\n" (List.map json_of_digest digests))
+  in
+  Printf.sprintf
+    "{\n  \"label\": \"%s\",\n  \"seed\": %d,\n  \"sections\": [\n%s\n  ]\n}\n"
+    (json_escape label) seed
+    (String.concat ",\n" (List.map section sections))
+
+let write_metrics_json ~path ~label ~seed sections =
+  let oc = open_out path in
+  output_string oc (json_of_metrics ~label ~seed sections);
   close_out oc

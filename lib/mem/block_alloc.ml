@@ -42,6 +42,13 @@ let cstate_carved = 2
 
 let log_obj ~tid = Mem.riv_of_root ~pool:0 ~word:(Mem.logs_start + (tid * Mem.log_words))
 
+(* Allocator-phase accounting: per-fiber counter bump plus a trace instant
+   at the current virtual time when tracing is on. *)
+let obs_event ~tid id arg =
+  Obs.bump ~tid id;
+  if !Obs.Trace.enabled then
+    Obs.Trace.emit ~ts:(Sim.Sched.now ()) ~tid ~kind:id ~arg ~farg:0.0
+
 (* ---- Function 6: LinkInTail ------------------------------------------- *)
 
 (* Append the chain [first..last] (already internally linked, last.next =
@@ -61,7 +68,10 @@ let link_in_tail t ~pool ~arena ~first ~last =
         if
           (not (Riv.is_null next_tail))
           && Mem.cas_ptr t tail_slot 0 ~expected:current_tail ~desired:next_tail
-        then Mem.persist_field t tail_slot 0
+        then begin
+          Mem.persist_field t tail_slot 0;
+          obs_event ~tid:(Sim.Sched.self ()) Obs.id_help 0
+        end
       end;
       Sim.Sched.yield ();
       attach ()
@@ -89,13 +99,16 @@ let delete_linked_object t ~tid obj =
     Mem.write_field t obj Mem.hdr_epoch (Mem.epoch t);
     Mem.write_field t obj Mem.hdr_kind Mem.kind_free;
     Mem.persist_range t obj ~first:0 ~words:(Mem.block_words t);
+    obs_event ~tid Obs.id_free 0;
     link_in_tail t ~pool ~arena ~first:obj ~last:obj
   end
   else begin
     let tail = Mem.read_ptr t (Mem.arena_tail_ptr ~pool ~arena) 0 in
     if Riv.equal obj tail then () (* already linked as the tail *)
-    else if Riv.is_null (Mem.read_ptr t obj Mem.hdr_next) then
+    else if Riv.is_null (Mem.read_ptr t obj Mem.hdr_next) then begin
+      obs_event ~tid Obs.id_free 0;
       link_in_tail t ~pool ~arena ~first:obj ~last:obj
+    end
     else begin
       (* A non-null next either means the block is still (or again) in the
          free list, or that it was popped just before the crash and carries
@@ -114,6 +127,7 @@ let delete_linked_object t ~tid obj =
       then begin
         Mem.write_field t obj Mem.hdr_epoch (Mem.epoch t);
         Mem.persist_field t obj Mem.hdr_next;
+        obs_event ~tid Obs.id_free 0;
         link_in_tail t ~pool ~arena ~first:obj ~last:obj
       end
     end
@@ -242,6 +256,7 @@ let alloc_block t ~tid ~ops ~pred ~key =
       set_chunk_log t ~tid ~state:cstate_carved ~pool ~chunk:id;
       link_in_tail t ~pool ~arena ~first ~last;
       set_chunk_log t ~tid ~state:cstate_none ~pool:0 ~chunk:0;
+      obs_event ~tid Obs.id_chunk id;
       loop ()
     end
     else begin
@@ -254,6 +269,7 @@ let alloc_block t ~tid ~ops ~pred ~key =
            recovery ambiguity between "still listed" and "popped". *)
         Mem.write_ptr t new_block Mem.hdr_next Riv.null;
         Mem.persist_field t new_block Mem.hdr_next;
+        obs_event ~tid Obs.id_alloc 0;
         new_block
       end
       else loop ()

@@ -1,0 +1,277 @@
+(* Deterministic observability: id-indexed counters with per-fiber rows,
+   and an event-trace ring buffer with a Chrome trace_event exporter.
+
+   Counters are host-side only — bumping one never reads or advances
+   simulated state — so enabling/disabling observability cannot change
+   simulated results. All event timestamps are virtual ns supplied by the
+   caller, which is what makes exported traces byte-identical for a fixed
+   seed. *)
+
+(* ---- counter ids --------------------------------------------------------- *)
+
+let id_flush = 0
+let id_dirty_flush = 1
+let id_fence = 2
+let id_pmem_cas = 3
+let id_pmem_cas_fail = 4
+let id_cas = 5
+let id_cas_fail = 6
+let id_restart = 7
+let id_epoch_repair = 8
+let id_split_repair = 9
+let id_tower_repair = 10
+let id_help = 11
+let id_split = 12
+let id_alloc = 13
+let id_free = 14
+let id_chunk = 15
+let n_ids = 16
+
+let names =
+  [|
+    "flushes";
+    "dirty_flushes";
+    "fences";
+    "pmem_cas";
+    "pmem_cas_failures";
+    "sl_cas";
+    "sl_cas_failures";
+    "restarts";
+    "epoch_repairs";
+    "split_repairs";
+    "tower_repairs";
+    "helps";
+    "splits";
+    "alloc_blocks";
+    "free_blocks";
+    "chunk_provisions";
+  |]
+
+let id_name id =
+  if id < 0 || id >= n_ids then invalid_arg "Obs.id_name: bad id"
+  else names.(id)
+
+(* ---- per-fiber counter rows ---------------------------------------------- *)
+
+let rows : int array array ref = ref [||]
+
+let row_for tid =
+  let r = !rows in
+  let n = Array.length r in
+  if tid < n then Array.unsafe_get r tid
+  else begin
+    let n' = max (tid + 1) (max 8 (2 * n)) in
+    let r' = Array.make n' [||] in
+    Array.blit r 0 r' 0 n;
+    for i = n to n' - 1 do
+      r'.(i) <- Array.make n_ids 0
+    done;
+    rows := r';
+    r'.(tid)
+  end
+
+let bump ~tid id =
+  let row = row_for tid in
+  Array.unsafe_set row id (Array.unsafe_get row id + 1)
+
+let counter ~tid id = if tid < Array.length !rows then !rows.(tid).(id) else 0
+
+let read_row ~tid ~into =
+  if tid < Array.length !rows then Array.blit !rows.(tid) 0 into 0 n_ids
+  else Array.fill into 0 n_ids 0
+
+let total id = Array.fold_left (fun acc row -> acc + row.(id)) 0 !rows
+
+let totals () =
+  let t = Array.make n_ids 0 in
+  Array.iter
+    (fun row ->
+      for id = 0 to n_ids - 1 do
+        t.(id) <- t.(id) + row.(id)
+      done)
+    !rows;
+  t
+
+let reset () = Array.iter (fun row -> Array.fill row 0 n_ids 0) !rows
+
+(* ---- event trace --------------------------------------------------------- *)
+
+module Trace = struct
+  let enabled = ref false
+  let k_resume = n_ids
+  let k_park = n_ids + 1
+  let k_fiber_done = n_ids + 2
+  let k_fiber_crash = n_ids + 3
+  let k_op_begin = n_ids + 4
+  let k_op_end = n_ids + 5
+
+  (* ring storage: parallel flat arrays, drop-oldest on overflow *)
+  let cap = ref 0
+  let ts_buf = ref [||]
+  let tid_buf = ref [||]
+  let kind_buf = ref [||]
+  let arg_buf = ref [||]
+  let farg_buf = ref [||]
+  let total_emitted = ref 0
+
+  let clear () =
+    total_emitted := 0;
+    if !cap > 0 then Array.fill !ts_buf 0 !cap 0.0
+
+  let start ?(capacity = 65536) () =
+    let capacity = max 1 capacity in
+    if capacity <> !cap then begin
+      cap := capacity;
+      ts_buf := Array.make capacity 0.0;
+      tid_buf := Array.make capacity 0;
+      kind_buf := Array.make capacity 0;
+      arg_buf := Array.make capacity 0;
+      farg_buf := Array.make capacity 0.0
+    end;
+    total_emitted := 0;
+    enabled := true
+
+  let stop () = enabled := false
+
+  let emit ~ts ~tid ~kind ~arg ~farg =
+    let c = !cap in
+    if c > 0 then begin
+      let i = !total_emitted mod c in
+      Array.unsafe_set !ts_buf i ts;
+      Array.unsafe_set !tid_buf i tid;
+      Array.unsafe_set !kind_buf i kind;
+      Array.unsafe_set !arg_buf i arg;
+      Array.unsafe_set !farg_buf i farg;
+      incr total_emitted
+    end
+
+  let recorded () = min !total_emitted !cap
+  let dropped () = max 0 (!total_emitted - !cap)
+
+  (* index of the i-th oldest retained event, i in [0, recorded) *)
+  let slot i =
+    let c = !cap in
+    if !total_emitted <= c then i else (!total_emitted + i) mod c
+
+  let kind_label = function
+    | k when k = id_flush -> "flush"
+    | k when k = id_dirty_flush -> "flush+wb"
+    | k when k = id_fence -> "fence"
+    | k when k = id_pmem_cas -> "cas"
+    | k when k = id_pmem_cas_fail -> "cas-fail"
+    | k when k = id_restart -> "restart"
+    | k when k = id_epoch_repair -> "epoch-repair"
+    | k when k = id_split_repair -> "split-repair"
+    | k when k = id_tower_repair -> "tower-repair"
+    | k when k = id_help -> "help"
+    | k when k = id_split -> "split"
+    | k when k = id_alloc -> "alloc"
+    | k when k = id_free -> "free"
+    | k when k = id_chunk -> "chunk"
+    | k when k = k_resume -> "resume"
+    | k when k = k_park -> "park"
+    | k when k = k_fiber_done -> "done"
+    | k when k = k_fiber_crash -> "crashed"
+    | _ -> "event"
+
+  let op_label = function
+    | 0 -> "read"
+    | 1 -> "update"
+    | 2 -> "insert"
+    | 3 -> "scan"
+    | _ -> "op"
+
+  (* Chrome trace_event "ts"/"dur" are microseconds; our clock is virtual
+     ns, so divide by 1000 and keep 6 decimals (sub-ns resolution). *)
+  let us buf v = Buffer.add_string buf (Printf.sprintf "%.6f" (v /. 1000.0))
+
+  let to_chrome_string () =
+    let n = recorded () in
+    let buf = Buffer.create (256 + (n * 96)) in
+    Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    let first = ref true in
+    let sep () =
+      if !first then first := false else Buffer.add_string buf ",\n"
+    in
+    (* one named track per fiber, in tid order *)
+    let max_tid = ref (-1) in
+    for i = 0 to n - 1 do
+      let tid = !tid_buf.(slot i) in
+      if tid > !max_tid then max_tid := tid
+    done;
+    let seen = Array.make (!max_tid + 2) false in
+    for i = 0 to n - 1 do
+      seen.(!tid_buf.(slot i)) <- true
+    done;
+    Array.iteri
+      (fun tid present ->
+        if present then begin
+          sep ();
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\
+                \"args\":{\"name\":\"fiber %d\"}}"
+               tid tid)
+        end)
+      seen;
+    (* op_begin/op_end pair into one "X" slice per fiber (ops never nest) *)
+    let open_ts = Array.make (!max_tid + 2) nan in
+    let open_op = Array.make (!max_tid + 2) 0 in
+    for i = 0 to n - 1 do
+      let s = slot i in
+      let ts = !ts_buf.(s)
+      and tid = !tid_buf.(s)
+      and kind = !kind_buf.(s)
+      and arg = !arg_buf.(s)
+      and farg = !farg_buf.(s) in
+      if kind = k_op_begin then begin
+        open_ts.(tid) <- ts;
+        open_op.(tid) <- arg
+      end
+      else if kind = k_op_end then begin
+        (* a begin lost to ring overflow leaves nothing to pair with *)
+        if not (Float.is_nan open_ts.(tid)) then begin
+          sep ();
+          Buffer.add_string buf
+            (Printf.sprintf "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":" tid);
+          us buf open_ts.(tid);
+          Buffer.add_string buf ",\"dur\":";
+          us buf (ts -. open_ts.(tid));
+          Buffer.add_string buf
+            (Printf.sprintf ",\"name\":\"%s\"}" (op_label open_op.(tid)));
+          open_ts.(tid) <- nan
+        end
+      end
+      else if kind <= id_pmem_cas_fail then begin
+        (* PMEM primitive: ts is the op start, farg its latency *)
+        sep ();
+        Buffer.add_string buf
+          (Printf.sprintf "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":" tid);
+        us buf ts;
+        Buffer.add_string buf ",\"dur\":";
+        us buf farg;
+        Buffer.add_string buf
+          (Printf.sprintf ",\"name\":\"%s\",\"args\":{\"addr\":%d}}"
+             (kind_label kind) arg)
+      end
+      else begin
+        sep ();
+        Buffer.add_string buf
+          (Printf.sprintf "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":" tid);
+        us buf ts;
+        Buffer.add_string buf
+          (Printf.sprintf ",\"s\":\"t\",\"name\":\"%s\"" (kind_label kind));
+        if kind = k_park then begin
+          Buffer.add_string buf ",\"args\":{\"wake_us\":";
+          us buf farg;
+          Buffer.add_string buf "}"
+        end
+        else if arg <> 0 then
+          Buffer.add_string buf (Printf.sprintf ",\"args\":{\"arg\":%d}" arg);
+        Buffer.add_string buf "}"
+      end
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf "\n],\"droppedEvents\":%d}\n" (dropped ()));
+    Buffer.contents buf
+end

@@ -1,0 +1,132 @@
+(** Deterministic observability: structure-level counters with per-fiber
+    attribution, plus an event-trace ring buffer with a Chrome
+    [trace_event] JSON exporter.
+
+    The counter registry is always on (plain host-side integer bumps that
+    never touch simulated state, so simulated results are unaffected);
+    tracing is off by default and costs one [bool ref] load per potential
+    event while disabled. Everything here is driven exclusively by virtual
+    time and seeded randomness, so counter values and exported traces are
+    byte-identical across runs with the same seed. *)
+
+(** {1 Counter ids}
+
+    Counters are a fixed id-indexed registry so per-fiber rows stay flat
+    arrays. Ids [0..4] mirror PMEM persistence primitives (attributed per
+    fiber here; the global totals live in [Pmem.counters]); the rest are
+    structure-level events. *)
+
+val id_flush : int  (** PMEM flushes issued *)
+
+val id_dirty_flush : int  (** flushes that wrote a line back *)
+
+val id_fence : int  (** persistence fences *)
+
+val id_pmem_cas : int  (** machine-level CAS operations *)
+
+val id_pmem_cas_fail : int  (** machine-level CAS failures *)
+
+val id_cas : int  (** skip-list-level CAS attempts (node fields, locks) *)
+
+val id_cas_fail : int  (** skip-list-level CAS failures *)
+
+val id_restart : int  (** traversal restarts forced by a lazy repair *)
+
+val id_epoch_repair : int  (** epoch-ID claims during lazy recovery *)
+
+val id_split_repair : int  (** interrupted node splits repaired *)
+
+val id_tower_repair : int  (** incomplete towers rebuilt *)
+
+val id_help : int  (** helping events (retired-node snips, tail advances) *)
+
+val id_split : int  (** node splits completed *)
+
+val id_alloc : int  (** allocator blocks grabbed *)
+
+val id_free : int  (** blocks returned to the free lists *)
+
+val id_chunk : int  (** chunks provisioned (carved and linked) *)
+
+val n_ids : int
+(** Number of counter ids; rows and snapshots have this length. *)
+
+val id_name : int -> string
+(** Stable short name of a counter id (used in tables and metrics JSON). *)
+
+(** {1 Per-fiber counters} *)
+
+val bump : tid:int -> int -> unit
+(** Increment counter [id] for fiber [tid] (rows grow on demand). *)
+
+val counter : tid:int -> int -> int
+(** Current value of counter [id] for fiber [tid] (0 if never bumped). *)
+
+val read_row : tid:int -> into:int array -> unit
+(** Copy fiber [tid]'s [n_ids] counters into [into] (for snapshot/diff
+    attribution around an operation without allocating). *)
+
+val total : int -> int
+(** Sum of counter [id] over every fiber. *)
+
+val totals : unit -> int array
+(** Fresh id-indexed array of totals over every fiber. *)
+
+val reset : unit -> unit
+(** Zero every counter of every fiber. *)
+
+(** {1 Event trace} *)
+
+module Trace : sig
+  (** Ring buffer of (virtual-time, fiber, kind, payload) events. Callers
+      guard emission with [if !enabled then emit ...] so a disabled trace
+      costs one ref load. When the ring fills, the oldest events are
+      overwritten and counted in {!dropped}. *)
+
+  val enabled : bool ref
+  (** Whether events are being recorded. Use {!start} / {!stop}. *)
+
+  (** {2 Event kinds}
+
+      Counter ids double as trace kinds for the countable events (a flush
+      event has kind [id_flush], and so on). The kinds below are
+      trace-only. *)
+
+  val k_resume : int  (** scheduler resumed a parked fiber *)
+
+  val k_park : int  (** fiber parked until the wake time in [farg] *)
+
+  val k_fiber_done : int  (** fiber body returned *)
+
+  val k_fiber_crash : int  (** fiber unwound by a crash point *)
+
+  val k_op_begin : int  (** workload op started; [arg] = op code 0..3 *)
+
+  val k_op_end : int  (** workload op finished *)
+
+  val start : ?capacity:int -> unit -> unit
+  (** Clear the ring (default capacity 65536 events) and enable
+      recording. *)
+
+  val stop : unit -> unit
+  (** Disable recording; recorded events remain readable. *)
+
+  val clear : unit -> unit
+  (** Drop all recorded events (keeps the enabled flag as is). *)
+
+  val emit : ts:float -> tid:int -> kind:int -> arg:int -> farg:float -> unit
+  (** Record one event: [ts] virtual ns, [arg] an integer payload (address
+      or op code), [farg] a float payload (duration or wake time). *)
+
+  val recorded : unit -> int
+  (** Events currently held in the ring. *)
+
+  val dropped : unit -> int
+  (** Events overwritten because the ring was full. *)
+
+  val to_chrome_string : unit -> string
+  (** Render the recorded events as Chrome [trace_event] JSON (one track
+      per fiber, timestamps in microseconds of virtual time, PMEM
+      primitives and workload ops as duration slices, everything else as
+      instants). Byte-identical for identical event streams. *)
+end

@@ -295,15 +295,27 @@ let cas t ~tid a expected desired =
   put_access_latency t ~tid ~store:true a;
   Array.unsafe_set t.lat_cell 0
     (Array.unsafe_get t.lat_cell 0 +. t.config.latency.cas_extra_ns);
-  if p.volatile.(w) = expected then begin
-    p.volatile.(w) <- desired;
-    mark_dirty p w;
-    true
-  end
-  else begin
-    t.counters.cas_failures <- t.counters.cas_failures + 1;
-    false
-  end
+  let ok =
+    if p.volatile.(w) = expected then begin
+      p.volatile.(w) <- desired;
+      mark_dirty p w;
+      true
+    end
+    else begin
+      t.counters.cas_failures <- t.counters.cas_failures + 1;
+      false
+    end
+  in
+  Obs.bump ~tid Obs.id_pmem_cas;
+  if not ok then Obs.bump ~tid Obs.id_pmem_cas_fail;
+  if !Obs.Trace.enabled then
+    Obs.Trace.emit
+      ~ts:(Array.unsafe_get t.now_cell 0)
+      ~tid
+      ~kind:(if ok then Obs.id_pmem_cas else Obs.id_pmem_cas_fail)
+      ~arg:a
+      ~farg:(Array.unsafe_get t.lat_cell 0);
+  ok
 
 (* Write the line containing [a] back to the persistence domain. *)
 let flush t ~tid a =
@@ -312,7 +324,8 @@ let flush t ~tid a =
   let p = get_pool t a in
   let w = word_of a in
   let lat = t.config.latency in
-  if not (line_dirty p w) then put_jittered t lat.clean_flush_ns
+  let dirty = line_dirty p w in
+  if not dirty then put_jittered t lat.clean_flush_ns
   else begin
     t.counters.dirty_flushes <- t.counters.dirty_flushes + 1;
     let base = w / line_words * line_words in
@@ -323,12 +336,27 @@ let flush t ~tid a =
     let node = home_node t a in
     let q = queue_delay t.write_free_at node ~now ~service:lat.write_service_ns in
     put_jittered t ((lat.write_persist_ns *. numa_factor t ~tid a) +. q)
-  end
+  end;
+  Obs.bump ~tid Obs.id_flush;
+  if dirty then Obs.bump ~tid Obs.id_dirty_flush;
+  if !Obs.Trace.enabled then
+    Obs.Trace.emit
+      ~ts:(Array.unsafe_get t.now_cell 0)
+      ~tid
+      ~kind:(if dirty then Obs.id_dirty_flush else Obs.id_flush)
+      ~arg:a
+      ~farg:(Array.unsafe_get t.lat_cell 0)
 
-let fence t ~tid:_ =
+let fence t ~tid =
   check_new_run t;
   t.counters.fences <- t.counters.fences + 1;
-  put_jittered t t.config.latency.fence_ns
+  put_jittered t t.config.latency.fence_ns;
+  Obs.bump ~tid Obs.id_fence;
+  if !Obs.Trace.enabled then
+    Obs.Trace.emit
+      ~ts:(Array.unsafe_get t.now_cell 0)
+      ~tid ~kind:Obs.id_fence ~arg:0
+      ~farg:(Array.unsafe_get t.lat_cell 0)
 
 (* The ops already handle run-restart detection themselves, so the machine
    record is plain partial applications — no per-op wrapper closures. The

@@ -1,0 +1,42 @@
+(** Log-bucketed latency histogram (HDR-histogram style): O(1) insert,
+    bounded relative error on percentiles, no per-sample storage.
+
+    Values are non-negative virtual-ns latencies. Values below 128 land in
+    unit-width buckets (exact to the integer); above that, buckets are
+    [2^-7] of their magnitude wide, so any reported percentile is within
+    {!max_rel_error} of the true sample. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val add : t -> float -> unit
+(** Record one value (negative values are clamped to 0). *)
+
+val count : t -> int
+val sum : t -> float
+
+val mean : t -> float
+(** Exact mean of the recorded values (0.0 when empty, matching
+    [Sim.Stats.mean]). *)
+
+val min_value : t -> float
+(** Exact smallest recorded value.
+    @raise Invalid_argument when empty. *)
+
+val max_value : t -> float
+(** Exact largest recorded value.
+    @raise Invalid_argument when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0..100]: nearest-rank percentile as the
+    midpoint of its bucket, clamped to [[min_value, max_value]].
+    @raise Invalid_argument when empty. *)
+
+val median : t -> float
+(** [percentile t 50.0]. *)
+
+val max_rel_error : float
+(** Worst-case relative error of [percentile]: [2^-7] (~0.8%), plus at
+    most 0.5 ns absolute in the unit-width buckets. *)

@@ -367,6 +367,10 @@ let run ?(crash = No_crash) ?(fast_path = true) ~(machine : machine) bodies =
   st.clock.(0) <- 0.0;
   let park time tid w =
     (* [tid <= max_tid] for every caller, so the bounds check is elided *)
+    if !Obs.Trace.enabled then
+      Obs.Trace.emit
+        ~ts:(Array.unsafe_get st.clock 0)
+        ~tid ~kind:Obs.Trace.k_park ~arg:0 ~farg:time;
     Array.unsafe_set st.waiters tid w;
     st.seq <- st.seq + 1;
     Heap.push st.heap time st.seq tid
@@ -442,11 +446,22 @@ let run ?(crash = No_crash) ?(fast_path = true) ~(machine : machine) bodies =
         (fun () -> body ~tid)
         ()
         {
-          retc = (fun () -> st.finished <- st.finished + 1);
+          retc =
+            (fun () ->
+              if !Obs.Trace.enabled then
+                Obs.Trace.emit
+                  ~ts:(Array.unsafe_get st.clock 0)
+                  ~tid ~kind:Obs.Trace.k_fiber_done ~arg:0 ~farg:0.0;
+              st.finished <- st.finished + 1);
           exnc =
             (fun e ->
               match e with
-              | Crashed -> st.finished <- st.finished + 1
+              | Crashed ->
+                  if !Obs.Trace.enabled then
+                    Obs.Trace.emit
+                      ~ts:(Array.unsafe_get st.clock 0)
+                      ~tid ~kind:Obs.Trace.k_fiber_crash ~arg:0 ~farg:0.0;
+                  st.finished <- st.finished + 1
               | e -> raise e);
           effc;
         }
@@ -477,6 +492,9 @@ let run ?(crash = No_crash) ?(fast_path = true) ~(machine : machine) bodies =
         end
         else begin
           st.current_tid <- tid;
+          if !Obs.Trace.enabled then
+            Obs.Trace.emit ~ts:time ~tid ~kind:Obs.Trace.k_resume ~arg:0
+              ~farg:0.0;
           resume_waiter w;
           loop ()
         end

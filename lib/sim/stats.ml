@@ -61,21 +61,21 @@ let stddev t =
 
 (* Nearest-rank percentile, [p] in [0, 100]. *)
 let percentile t p =
-  if t.len = 0 then 0.0
-  else begin
-    ensure_sorted t;
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) in
-    let idx = max 0 (min (t.len - 1) (rank - 1)) in
-    t.data.(idx)
-  end
+  if t.len = 0 then invalid_arg "Sim.Stats.percentile: empty collection";
+  ensure_sorted t;
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) in
+  let idx = max 0 (min (t.len - 1) (rank - 1)) in
+  t.data.(idx)
 
 let min_value t =
+  if t.len = 0 then invalid_arg "Sim.Stats.min_value: empty collection";
   ensure_sorted t;
-  if t.len = 0 then 0.0 else t.data.(0)
+  t.data.(0)
 
 let max_value t =
+  if t.len = 0 then invalid_arg "Sim.Stats.max_value: empty collection";
   ensure_sorted t;
-  if t.len = 0 then 0.0 else t.data.(t.len - 1)
+  t.data.(t.len - 1)
 
 let median t = percentile t 50.0
 

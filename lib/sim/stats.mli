@@ -11,11 +11,17 @@ val mean : t -> float
 val stddev : t -> float
 
 val percentile : t -> float -> float
-(** Nearest-rank percentile; argument in [\[0, 100\]]. *)
+(** Nearest-rank percentile; argument in [\[0, 100\]].
+    @raise Invalid_argument when no samples have been added. *)
 
 val median : t -> float
+(** @raise Invalid_argument when no samples have been added. *)
+
 val min_value : t -> float
+(** @raise Invalid_argument when no samples have been added. *)
+
 val max_value : t -> float
+(** @raise Invalid_argument when no samples have been added. *)
 
 val to_array : t -> float array
 (** Snapshot of the samples (sorted if a percentile was queried). *)

@@ -94,7 +94,19 @@ let test_stats_percentiles () =
 let test_stats_empty () =
   let s = Sim.Stats.create () in
   check_bool "mean of empty" true (Sim.Stats.mean s = 0.0);
-  check_bool "p50 of empty" true (Sim.Stats.percentile s 50.0 = 0.0)
+  let raises f =
+    match f () with
+    | (_ : float) -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "p50 of empty raises" true
+    (raises (fun () -> Sim.Stats.percentile s 50.0));
+  check_bool "median of empty raises" true
+    (raises (fun () -> Sim.Stats.median s));
+  check_bool "min of empty raises" true
+    (raises (fun () -> Sim.Stats.min_value s));
+  check_bool "max of empty raises" true
+    (raises (fun () -> Sim.Stats.max_value s))
 
 let test_stats_growth () =
   let s = Sim.Stats.create ~capacity:2 () in
