@@ -733,6 +733,58 @@ let micro () =
       | exception _ -> Fmt.pr "  %-36s (analysis failed)@." name)
     raws
 
+(* ---- service-layer scaling ----------------------------------------------------- *)
+
+(* Shard-count scaling of the simulated KV service (lib/svc): the same
+   offered open-loop load against 1/2/4/8 UPSkipList shards. One shard
+   saturates and sheds; adding shards converts shed into goodput and pulls
+   the tail latency back down. See EXPERIMENTS.md for the recorded run. *)
+let svc_scaling () =
+  Report.heading
+    "Service scaling — sharded KV service, YCSB C at a fixed offered load";
+  let cfg shards =
+    {
+      Svc.Config.default with
+      shards;
+      zones = shards;
+      clients = 16;
+      requests_per_client = (if !scale == full then 1_000 else 400);
+      offered_mops = 2.0;
+      workload = W.c;
+      n_initial = 4_096;
+      seed;
+    }
+  in
+  let rows =
+    List.map
+      (fun shards ->
+        let r = Svc.Service.run (cfg shards) in
+        let m = Svc.Slo.summarize r.Svc.Slo.merged in
+        [
+          string_of_int shards;
+          Printf.sprintf "%.3f" r.Svc.Slo.goodput_mops;
+          Printf.sprintf "%.1f" (100.0 *. r.Svc.Slo.shed_rate);
+          Printf.sprintf "%.2f" (m.Svc.Slo.p50 /. 1e3);
+          Printf.sprintf "%.2f" (m.Svc.Slo.p99 /. 1e3);
+          Printf.sprintf "%.2f" (m.Svc.Slo.p999 /. 1e3);
+        ])
+      [ 1; 2; 4; 8 ]
+  in
+  Report.table
+    ~headers:
+      [
+        "shards";
+        "goodput (Mops/s)";
+        "shed (%)";
+        "p50 (us)";
+        "p99 (us)";
+        "p99.9 (us)";
+      ]
+    ~rows;
+  Fmt.pr
+    "@.(offered load fixed at 2.0 Mops/s; goodput should rise toward it and \
+     the tail collapse as shards absorb the queueing)@."
+
 (* ---- smoke figure (CI) --------------------------------------------------------- *)
 
 (* A deliberately tiny figure for the `bench/smoke` dune alias: one
@@ -839,6 +891,7 @@ let experiments =
     ("table2.1", table_2_1);
     ("chapter6", chapter6);
     ("ablations", ablations);
+    ("svc-scaling", svc_scaling);
     ("micro", micro);
     ("smoke", smoke);
   ]
@@ -847,7 +900,7 @@ let experiments =
 let default_set =
   [
     "fig5.1"; "fig5.2"; "fig5.3"; "fig5.4"; "fig5.5"; "table5.4"; "workloadE";
-    "table2.1"; "chapter6"; "ablations";
+    "table2.1"; "chapter6"; "ablations"; "svc-scaling";
   ]
 
 (* Baseline wall-clock file: one "<experiment> <seconds>" pair per line,

@@ -64,7 +64,7 @@ let descriptors_t =
 let workload_t =
   Arg.(
     value & opt string "a"
-    & info [ "w"; "workload" ] ~doc:"YCSB workload: a | b | c | d.")
+    & info [ "w"; "workload" ] ~doc:"YCSB workload: a | b | c | d | e.")
 
 let make_kv structure mode descriptors =
   let sys = { Kv.default_sys with mode; pool_words = 1 lsl 22 } in
@@ -419,6 +419,158 @@ let recovery_cmd structure mode keys descriptors =
 let recovery_term =
   Term.(const recovery_cmd $ structure_t $ mode_t $ keys_t $ descriptors_t)
 
+(* ---- serve-sim ----------------------------------------------------------------- *)
+
+(* Simulated sharded KV service (lib/svc): open-loop clients over
+   hash-routed per-zone shards with batching, group flush, admission
+   control, and an SLO report. Deterministic: the same options produce
+   byte-identical SLO JSON. *)
+
+let serve_cmd structure shards zones clients requests load arrival workload
+    batch queue_cap policy keys latency shard_mode shard_nodes seed crash_shard
+    crash_at_us json_out =
+  let ( let* ) r f =
+    match r with
+    | Error e ->
+        Fmt.epr "serve-sim: %s@." e;
+        2
+    | Ok v -> f v
+  in
+  let* arrival = Sim.Arrival.kind_of_string arrival in
+  let* policy =
+    match String.lowercase_ascii policy with
+    | "shed" -> Ok Svc.Config.Shed
+    | s when String.length s > 6 && String.sub s 0 6 = "delay:" -> (
+        match float_of_string_opt (String.sub s 6 (String.length s - 6)) with
+        | Some ns when ns > 0.0 -> Ok (Svc.Config.Delay ns)
+        | _ -> Error ("bad delay backoff in policy: " ^ s))
+    | s -> Error ("unknown policy (want shed | delay:<ns>): " ^ s)
+  in
+  let* latency =
+    match String.lowercase_ascii latency with
+    | "uniform" -> Ok Pmem.Latency.uniform
+    | "optane" -> Ok Pmem.Latency.default
+    | s -> Error ("unknown latency model (want uniform | optane): " ^ s)
+  in
+  let* workload =
+    match Ycsb.Workload.by_label workload with
+    | spec -> Ok spec
+    | exception Invalid_argument e -> Error e
+  in
+  let crash =
+    if crash_shard < 0 then None
+    else
+      Some
+        { Svc.Config.crash_shard; crash_at_ns = crash_at_us *. 1_000.0 }
+  in
+  let cfg =
+    {
+      Svc.Config.default with
+      structure = structure_name structure;
+      shards;
+      zones;
+      clients;
+      requests_per_client = requests;
+      offered_mops = load;
+      arrival;
+      workload;
+      n_initial = keys;
+      batch;
+      queue_cap;
+      policy;
+      seed;
+      sys =
+        {
+          Kv.default_sys with
+          latency;
+          mode = shard_mode;
+          numa_nodes = shard_nodes;
+          pool_words = 1 lsl 20;
+          seed;
+        };
+      crash;
+    }
+  in
+  let* () = Svc.Config.validate cfg in
+  let report = Svc.Service.run cfg in
+  Svc.Slo.pp Format.std_formatter report;
+  (match json_out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Svc.Slo.to_json report);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "SLO report written to %s@." path
+  | None -> ());
+  0
+
+let shards_t =
+  Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Shard (structure) count.")
+
+let zones_t =
+  Arg.(
+    value & opt int 4
+    & info [ "zones" ] ~doc:"Simulated NUMA zones; shard s pins to s mod zones.")
+
+let clients_t =
+  Arg.(value & opt int 16 & info [ "clients" ] ~doc:"Open-loop connections.")
+
+let requests_t =
+  Arg.(
+    value & opt int 512 & info [ "requests" ] ~doc:"Requests per connection.")
+
+let load_t =
+  Arg.(
+    value & opt float 2.0
+    & info [ "load" ] ~doc:"Aggregate offered load in Mops/s.")
+
+let arrival_t =
+  Arg.(
+    value & opt string "poisson"
+    & info [ "arrival" ] ~doc:"Inter-arrival process: poisson | fixed | jitter:<f>.")
+
+let batch_t =
+  Arg.(
+    value & opt int 8
+    & info [ "batch" ] ~doc:"Max requests coalesced into one worker batch.")
+
+let queue_cap_t =
+  Arg.(
+    value & opt int 256
+    & info [ "queue-cap" ] ~doc:"Per-shard admission-control queue bound.")
+
+let policy_t =
+  Arg.(
+    value & opt string "shed"
+    & info [ "policy" ] ~doc:"Backpressure: shed | delay:<backoff ns>.")
+
+let shard_nodes_t =
+  Arg.(
+    value & opt int 1
+    & info [ "shard-nodes" ] ~doc:"NUMA nodes inside each shard's device.")
+
+let crash_shard_t =
+  Arg.(
+    value & opt int (-1)
+    & info [ "crash-shard" ] ~doc:"Crash this shard mid-run (-1 = no crash).")
+
+let crash_at_t =
+  Arg.(
+    value & opt float 50.0
+    & info [ "crash-at-us" ] ~doc:"Simulated crash time in microseconds.")
+
+let serve_json_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json-out" ] ~doc:"Write the deterministic SLO report JSON here.")
+
+let serve_term =
+  Term.(
+    const serve_cmd $ structure_t $ shards_t $ zones_t $ clients_t $ requests_t
+    $ load_t $ arrival_t $ workload_t $ batch_t $ queue_cap_t $ policy_t
+    $ keys_t $ latency_t $ mode_t $ shard_nodes_t $ seed_t $ crash_shard_t
+    $ crash_at_t $ serve_json_t)
+
 (* ---- demo ---------------------------------------------------------------------- *)
 
 let demo_cmd () =
@@ -488,6 +640,13 @@ let cmds =
          ~doc:"Re-execute a failing trial from its printed replay spec.")
       replay_term;
     Cmd.v (Cmd.info "recovery" ~doc:"Measure post-crash recovery time.") recovery_term;
+    Cmd.v
+      (Cmd.info "serve-sim"
+         ~doc:
+           "Simulate a sharded KV service: open-loop clients, NUMA-aware \
+            shard routing, batching with group flush, admission control, \
+            optional mid-run shard crash, SLO report.")
+      serve_term;
     Cmd.v (Cmd.info "demo" ~doc:"Small interactive walk-through.") demo_term;
   ]
 

@@ -397,11 +397,16 @@ let sys_of_spec s =
 let kv_of_spec s =
   let ( let* ) = Result.bind in
   let* sys = sys_of_spec s in
-  match s.structure with
-  | "upskiplist" | "ups" -> Ok (fun () -> Kv.make_upskiplist sys)
-  | "bztree" | "bz" -> Ok (fun () -> Kv.make_bztree ~n_descriptors:16_384 sys)
-  | "pmdk" | "lock" -> Ok (fun () -> Kv.make_pmdk_list sys)
-  | st -> Error ("unknown structure: " ^ st)
+  (* validate the name here so a bad spec fails before any trial runs *)
+  let* () =
+    if Kv.known_structure s.structure then Ok ()
+    else Error ("unknown structure: " ^ s.structure)
+  in
+  Ok
+    (fun () ->
+      match Kv.make_named ~structure:s.structure sys with
+      | Ok kv -> kv
+      | Error e -> invalid_arg ("Fault.kv_of_spec: " ^ e))
 
 let run_spec s =
   match kv_of_spec s with

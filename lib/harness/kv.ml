@@ -169,3 +169,20 @@ let make_pmdk_list ?(max_height = 24) sys =
     mem;
     pools = (Pmem.config pmem).Pmem.n_pools;
   }
+
+(* ---- name-dispatched construction ---------------------------------------- *)
+
+(* One place that maps the structure names used by replay specs, the CLI and
+   the service layer onto fixture builders, so every driver accepts the same
+   spellings. *)
+let make_named ~structure sys =
+  match String.lowercase_ascii structure with
+  | "upskiplist" | "ups" -> Ok (make_upskiplist sys)
+  | "bztree" | "bz" -> Ok (make_bztree ~n_descriptors:16_384 sys)
+  | "pmdk" | "lock" -> Ok (make_pmdk_list sys)
+  | s -> Error ("unknown structure: " ^ s)
+
+let known_structure structure =
+  match String.lowercase_ascii structure with
+  | "upskiplist" | "ups" | "bztree" | "bz" | "pmdk" | "lock" -> true
+  | _ -> false

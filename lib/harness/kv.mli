@@ -51,3 +51,12 @@ val make_upskiplist : ?cfg:Upskiplist.Config.t -> ?n_arenas:int -> sys -> t
 val make_bztree :
   ?leaf_capacity:int -> ?fanout:int -> ?n_descriptors:int -> sys -> t
 val make_pmdk_list : ?max_height:int -> sys -> t
+
+val make_named : structure:string -> sys -> (t, string) result
+(** Build a fixture by name — [upskiplist]/[ups], [bztree]/[bz],
+    [pmdk]/[lock] — with each structure's default tuning (BzTree gets a
+    16K-descriptor pool, as in the fault-campaign specs). The shared
+    spelling table behind replay specs, the CLI and the service layer. *)
+
+val known_structure : string -> bool
+(** Whether {!make_named} accepts the name (without building anything). *)

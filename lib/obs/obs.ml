@@ -25,7 +25,11 @@ let id_split = 12
 let id_alloc = 13
 let id_free = 14
 let id_chunk = 15
-let n_ids = 16
+let id_svc_enqueue = 16
+let id_svc_shed = 17
+let id_svc_batch = 18
+let id_svc_group_flush = 19
+let n_ids = 20
 
 let names =
   [|
@@ -45,6 +49,10 @@ let names =
     "alloc_blocks";
     "free_blocks";
     "chunk_provisions";
+    "svc_enqueued";
+    "svc_shed";
+    "svc_batches";
+    "svc_group_flushes";
   |]
 
 let id_name id =
@@ -168,6 +176,10 @@ module Trace = struct
     | k when k = id_alloc -> "alloc"
     | k when k = id_free -> "free"
     | k when k = id_chunk -> "chunk"
+    | k when k = id_svc_enqueue -> "svc-enqueue"
+    | k when k = id_svc_shed -> "svc-shed"
+    | k when k = id_svc_batch -> "svc-batch"
+    | k when k = id_svc_group_flush -> "svc-group-flush"
     | k when k = k_resume -> "resume"
     | k when k = k_park -> "park"
     | k when k = k_fiber_done -> "done"

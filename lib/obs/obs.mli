@@ -48,6 +48,18 @@ val id_free : int  (** blocks returned to the free lists *)
 
 val id_chunk : int  (** chunks provisioned (carved and linked) *)
 
+(** Service-layer events (the [svc] sharded KV service in front of the
+    structures): *)
+
+val id_svc_enqueue : int  (** requests admitted to a shard queue *)
+
+val id_svc_shed : int  (** requests shed by admission control / downed shard *)
+
+val id_svc_batch : int  (** request batches dispatched by shard workers *)
+
+val id_svc_group_flush : int
+(** service-level group-commit fences (one per batch with upserts) *)
+
 val n_ids : int
 (** Number of counter ids; rows and snapshots have this length. *)
 

@@ -1,0 +1,33 @@
+(** Seeded open-loop arrival processes.
+
+    An open-loop client issues request [i] at a scheduled time that does not
+    depend on when request [i-1] completed, so offered load is independent of
+    service rate — the property the closed-loop YCSB driver lacks. This
+    module generates the inter-arrival gaps; the caller turns them into
+    virtual-time sleeps ([Sched.charge]).
+
+    Deterministic: the same seed and kind replay the same gap sequence. *)
+
+type kind =
+  | Poisson  (** exponential gaps (memoryless; the standard open-loop model) *)
+  | Fixed  (** constant gaps (a paced load generator) *)
+  | Jittered of float
+      (** constant gaps with multiplicative uniform jitter in
+          [1 ± fraction]; fraction is clamped to [0, 1] *)
+
+type t
+
+val create : seed:int -> mean_gap_ns:float -> kind -> t
+(** [create ~seed ~mean_gap_ns kind]: a process whose gaps average
+    [mean_gap_ns] (must be positive; raises [Invalid_argument] otherwise). *)
+
+val next_gap_ns : t -> float
+(** The next inter-arrival gap. Always positive. *)
+
+val mean_gap_ns : t -> float
+
+val kind_to_string : kind -> string
+(** [poisson], [fixed] or [jitter:<fraction>] — inverted by
+    {!kind_of_string}. *)
+
+val kind_of_string : string -> (kind, string) result

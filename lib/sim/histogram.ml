@@ -103,3 +103,32 @@ let percentile t p =
   if mid < t.minv then t.minv else if mid > t.maxv then t.maxv else mid
 
 let median t = percentile t 50.0
+
+(* Bucket-wise sum. Buckets are positional and shared by every histogram,
+   so merging is exact: the merged histogram reports identical counts, sum
+   and min/max to one that had ingested both sample streams directly. *)
+let merge a b =
+  let t = create () in
+  for i = 0 to n_buckets - 1 do
+    t.counts.(i) <- a.counts.(i) + b.counts.(i)
+  done;
+  t.n <- a.n + b.n;
+  t.sum <- a.sum +. b.sum;
+  (if a.n = 0 then begin
+     t.minv <- b.minv;
+     t.maxv <- b.maxv
+   end
+   else if b.n = 0 then begin
+     t.minv <- a.minv;
+     t.maxv <- a.maxv
+   end
+   else begin
+     t.minv <- (if a.minv < b.minv then a.minv else b.minv);
+     t.maxv <- (if a.maxv > b.maxv then a.maxv else b.maxv)
+   end);
+  t
+
+let merge_list = function
+  | [] -> create ()
+  | [ t ] -> merge t (create ())
+  | t :: rest -> List.fold_left merge t rest

@@ -37,6 +37,16 @@ val percentile : t -> float -> float
 val median : t -> float
 (** [percentile t 50.0]. *)
 
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram holding every sample of [a] and [b]
+    (bucket-wise sum; count/sum/min/max combine exactly). Inputs are not
+    modified. Used for cross-shard percentile aggregation: since all
+    histograms share one bucket layout, merged percentiles carry the same
+    {!max_rel_error} bound as the inputs. *)
+
+val merge_list : t list -> t
+(** Fold of {!merge} over the list (fresh empty histogram when []). *)
+
 val max_rel_error : float
 (** Worst-case relative error of [percentile]: [2^-7] (~0.8%), plus at
     most 0.5 ns absolute in the unit-width buckets. *)

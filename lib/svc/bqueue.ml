@@ -1,0 +1,30 @@
+(* Bounded FIFO over Stdlib.Queue with a tracked high-water mark. *)
+
+type 'a t = { q : 'a Queue.t; cap : int; mutable high_water : int }
+
+let create ~cap =
+  if cap <= 0 then invalid_arg "Svc.Bqueue.create: cap must be positive";
+  { q = Queue.create (); cap; high_water = 0 }
+
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+let is_full t = Queue.length t.q >= t.cap
+
+let push t x =
+  if is_full t then false
+  else begin
+    Queue.push x t.q;
+    let d = Queue.length t.q in
+    if d > t.high_water then t.high_water <- d;
+    true
+  end
+
+let pop_up_to t n =
+  let rec take n acc =
+    if n = 0 || Queue.is_empty t.q then List.rev acc
+    else take (n - 1) (Queue.pop t.q :: acc)
+  in
+  take n []
+
+let drain t = pop_up_to t (Queue.length t.q)
+let high_water t = t.high_water

@@ -1,0 +1,458 @@
+(* One scheduler run hosts every fiber of the service, but each shard owns a
+   private Pmem.t (its own clock/latency cells). The composite machine
+   bridges the two: ops dispatch by tid to the owning shard's machine, the
+   composite clock is copied into that machine's cell before the op and the
+   op's latency copied back after. Worker tids equal their shard index so
+   Pmem's tid→node pinning lines up with the zone layout; client and monitor
+   fibers must never reach the machine (charge/now/self are handled by the
+   scheduler without machine calls). *)
+
+module H = Sim.Histogram
+module Kv = Harness.Kv
+module Driver = Harness.Driver
+module Crash_test = Harness.Crash_test
+
+type scan_ctx = {
+  sc_arrival : float;
+  mutable sc_remaining : int;
+  mutable sc_failed : bool;
+  mutable sc_parts : (int * int) list list;
+}
+
+type req =
+  | R_read of int
+  | R_upsert of int * int
+  | R_scan_part of scan_ctx * int * int
+
+type entry = { arrival : float; req : req }
+
+type shard_state = {
+  kv : Kv.t;
+  q : entry Bqueue.t;
+  hist : H.t;
+  mutable enq : int;
+  mutable comp : int;
+  mutable shed : int;
+  mutable lost : int;
+  mutable batches : int;
+  mutable flushes : int;
+  mutable crashed : bool;
+  mutable down_ns : float;
+}
+
+let shard_sys (cfg : Config.t) s =
+  {
+    cfg.Config.sys with
+    Kv.seed = cfg.Config.sys.Kv.seed + (1000 * s);
+    max_threads = max cfg.Config.sys.Kv.max_threads cfg.Config.shards;
+  }
+
+(* Each shard preloads its slice of 1..n_initial in its own scheduler run on
+   its own machine; Pmem's new-run detection handles the clock reset when
+   the service run starts afterwards at time zero. *)
+let preload_shard router (cfg : Config.t) st s =
+  let keys = ref [] in
+  for k = cfg.Config.n_initial downto 1 do
+    if Router.shard_of_key router k = s then keys := k :: !keys
+  done;
+  let body ~tid =
+    List.iter
+      (fun k -> ignore (st.kv.Kv.upsert ~tid k ((1 lsl 30) + k)))
+      !keys
+  in
+  (match Sim.Sched.run ~machine:(Kv.machine st.kv) [ (s, body) ] with
+  | Sim.Sched.Completed _ -> ()
+  | Sim.Sched.Crashed_at _ -> assert false);
+  Pmem.reset_counters st.kv.Kv.pmem
+
+let composite_machine states =
+  let shards = Array.length states in
+  let ms = Array.map (fun st -> Kv.machine st.kv) states in
+  let clock = [| 0.0 |] in
+  let latency = [| 0.0 |] in
+  let dispatch tid =
+    if tid < 0 || tid >= shards then
+      failwith "Svc.Service: non-worker fiber performed a PMEM operation";
+    let m = ms.(tid) in
+    m.Sim.Sched.clock.(0) <- clock.(0);
+    m
+  in
+  {
+    Sim.Sched.read =
+      (fun ~tid a ->
+        let m = dispatch tid in
+        let r = m.Sim.Sched.read ~tid a in
+        latency.(0) <- m.Sim.Sched.latency.(0);
+        r);
+    write =
+      (fun ~tid a v ->
+        let m = dispatch tid in
+        m.Sim.Sched.write ~tid a v;
+        latency.(0) <- m.Sim.Sched.latency.(0));
+    cas =
+      (fun ~tid a expected desired ->
+        let m = dispatch tid in
+        let r = m.Sim.Sched.cas ~tid a expected desired in
+        latency.(0) <- m.Sim.Sched.latency.(0);
+        r);
+    flush =
+      (fun ~tid a ->
+        let m = dispatch tid in
+        m.Sim.Sched.flush ~tid a;
+        latency.(0) <- m.Sim.Sched.latency.(0));
+    fence =
+      (fun ~tid ->
+        let m = dispatch tid in
+        m.Sim.Sched.fence ~tid;
+        latency.(0) <- m.Sim.Sched.latency.(0));
+    clock;
+    latency;
+  }
+
+let config_summary (cfg : Config.t) =
+  [
+    ("structure", cfg.structure);
+    ("shards", string_of_int cfg.shards);
+    ("zones", string_of_int cfg.zones);
+    ("clients", string_of_int cfg.clients);
+    ("requests_per_client", string_of_int cfg.requests_per_client);
+    ("offered_mops", Printf.sprintf "%g" cfg.offered_mops);
+    ("arrival", Sim.Arrival.kind_to_string cfg.arrival);
+    ("workload", cfg.workload.Ycsb.Workload.label);
+    ("n_initial", string_of_int cfg.n_initial);
+    ("batch", string_of_int cfg.batch);
+    ("queue_cap", string_of_int cfg.queue_cap);
+    ( "policy",
+      match cfg.policy with
+      | Config.Shed -> "shed"
+      | Config.Delay d -> Printf.sprintf "delay:%g" d );
+    ( "shard_mode",
+      match cfg.sys.Kv.mode with
+      | Pmem.Striped -> "striped"
+      | Pmem.Multi_pool -> "multi-pool" );
+    ("shard_numa_nodes", string_of_int cfg.sys.Kv.numa_nodes);
+    ("seed", string_of_int cfg.seed);
+    ( "crash",
+      match cfg.crash with
+      | None -> "none"
+      | Some c ->
+          Printf.sprintf "shard%d@%gns" c.Config.crash_shard
+            c.Config.crash_at_ns );
+  ]
+
+let run (cfg : Config.t) =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Svc.Service.run: " ^ e));
+  let router = Router.create ~shards:cfg.shards ~zones:cfg.zones in
+  let states =
+    Array.init cfg.shards (fun s ->
+        match Kv.make_named ~structure:cfg.structure (shard_sys cfg s) with
+        | Ok kv ->
+            {
+              kv;
+              q = Bqueue.create ~cap:cfg.queue_cap;
+              hist = H.create ();
+              enq = 0;
+              comp = 0;
+              shed = 0;
+              lost = 0;
+              batches = 0;
+              flushes = 0;
+              crashed = false;
+              down_ns = 0.0;
+            }
+        | Error e -> invalid_arg ("Svc.Service.run: " ^ e))
+  in
+  Array.iteri (fun s st -> preload_shard router cfg st s) states;
+  let streams =
+    Ycsb.Workload.generate ~seed:cfg.seed ~spec:cfg.workload
+      ~n_initial:cfg.n_initial ~threads:cfg.clients
+      ~ops_per_thread:cfg.requests_per_client
+  in
+  let merged = H.create () in
+  let requests = ref 0 in
+  let completed = ref 0 in
+  let failed_scans = ref 0 in
+  let delayed = ref 0 in
+  let delay_total = ref 0.0 in
+  let clients_done = ref 0 in
+  let workers_done = ref 0 in
+  let in_outage = Array.make cfg.shards 0 in
+  let samples = ref [] in
+
+  (* Resolve one fan-out part of a scan. The success arm only ever runs in
+     the worker finishing the last part (parts resolve successfully only at
+     range completion), so it may charge the merge cost; the failure arm
+     performs no scheduler operation and is safe in client context too. *)
+  let scan_part_resolved ctx ~failed ~part =
+    if failed then ctx.sc_failed <- true
+    else ctx.sc_parts <- part :: ctx.sc_parts;
+    ctx.sc_remaining <- ctx.sc_remaining - 1;
+    if ctx.sc_remaining = 0 then begin
+      if ctx.sc_failed then incr failed_scans
+      else begin
+        let rows = Router.merge_ranges (List.rev ctx.sc_parts) in
+        Sim.Sched.charge
+          (cfg.merge_ns_per_item *. float_of_int (List.length rows));
+        H.add merged (Sim.Sched.now () -. ctx.sc_arrival);
+        incr completed
+      end
+    end
+  in
+
+  let admit ~tid s entry =
+    let st = states.(s) in
+    match cfg.policy with
+    | Config.Shed ->
+        if Bqueue.push st.q entry then begin
+          st.enq <- st.enq + 1;
+          Obs.bump ~tid Obs.id_svc_enqueue;
+          true
+        end
+        else begin
+          st.shed <- st.shed + 1;
+          Obs.bump ~tid Obs.id_svc_shed;
+          false
+        end
+    | Config.Delay backoff ->
+        let rec go () =
+          if Bqueue.push st.q entry then begin
+            st.enq <- st.enq + 1;
+            Obs.bump ~tid Obs.id_svc_enqueue;
+            true
+          end
+          else begin
+            incr delayed;
+            delay_total := !delay_total +. backoff;
+            Sim.Sched.charge backoff;
+            go ()
+          end
+        in
+        go ()
+  in
+
+  let client_body c ~tid =
+    let arr =
+      Sim.Arrival.create
+        ~seed:(cfg.seed + 104729 + (7919 * c))
+        ~mean_gap_ns:(Config.mean_gap_ns cfg) cfg.arrival
+    in
+    let zone_c = Router.zone_of_client router c in
+    let hop s =
+      Router.hop_ns router ~local_ns:cfg.net_local_ns
+        ~remote_ns:cfg.net_remote_ns ~from_zone:zone_c
+        ~to_zone:(Router.zone_of_shard router s)
+    in
+    let seq = ref 0 in
+    Array.iter
+      (fun op ->
+        Sim.Sched.charge (Sim.Arrival.next_gap_ns arr);
+        incr requests;
+        let t_send = Sim.Sched.now () in
+        match op with
+        | Ycsb.Workload.Read k ->
+            let s = Router.shard_of_key router k in
+            Sim.Sched.charge (hop s);
+            ignore (admit ~tid s { arrival = t_send; req = R_read k })
+        | Ycsb.Workload.Update k | Ycsb.Workload.Insert k ->
+            incr seq;
+            let v = Driver.value_of ~tid ~seq:!seq in
+            let s = Router.shard_of_key router k in
+            Sim.Sched.charge (hop s);
+            ignore (admit ~tid s { arrival = t_send; req = R_upsert (k, v) })
+        | Ycsb.Workload.Scan (start, len) ->
+            let lo = start and hi = start + len - 1 in
+            let parts = Router.shards_of_range router ~lo ~hi in
+            let ctx =
+              {
+                sc_arrival = t_send;
+                sc_remaining = List.length parts;
+                sc_failed = false;
+                sc_parts = [];
+              }
+            in
+            List.iter
+              (fun s ->
+                Sim.Sched.charge (hop s);
+                if
+                  not
+                    (admit ~tid s
+                       { arrival = t_send; req = R_scan_part (ctx, lo, hi) })
+                then scan_part_resolved ctx ~failed:true ~part:[])
+              parts)
+      streams.(c);
+    incr clients_done
+  in
+
+  let worker_body s ~tid =
+    let st = states.(s) in
+    let crash_pending =
+      ref
+        (match cfg.crash with
+        | Some c when c.Config.crash_shard = s -> Some c.Config.crash_at_ns
+        | _ -> None)
+    in
+    let ack e =
+      let lat = Sim.Sched.now () -. e.arrival in
+      H.add st.hist lat;
+      st.comp <- st.comp + 1;
+      match e.req with
+      | R_read _ | R_upsert _ ->
+          H.add merged lat;
+          incr completed
+      | R_scan_part _ -> ()
+    in
+    let process_batch () =
+      let entries = Bqueue.pop_up_to st.q cfg.batch in
+      st.batches <- st.batches + 1;
+      Obs.bump ~tid Obs.id_svc_batch;
+      Sim.Sched.charge
+        (cfg.batch_overhead_ns
+        +. (cfg.req_overhead_ns *. float_of_int (List.length entries)));
+      let durable = ref [] in
+      List.iter
+        (fun e ->
+          match e.req with
+          | R_read k ->
+              ignore (st.kv.Kv.search ~tid k);
+              ack e
+          | R_upsert (k, v) ->
+              ignore (st.kv.Kv.upsert ~tid k v);
+              durable := e :: !durable
+          | R_scan_part (ctx, lo, hi) ->
+              let part = st.kv.Kv.range ~tid ~lo ~hi in
+              ack e;
+              scan_part_resolved ctx ~failed:false ~part)
+        entries;
+      (* group commit: one trailing fence covers every upsert in the batch;
+         only then are their acks recorded *)
+      match !durable with
+      | [] -> ()
+      | ds ->
+          Sim.Sched.fence ();
+          st.flushes <- st.flushes + 1;
+          Obs.bump ~tid Obs.id_svc_group_flush;
+          List.iter ack (List.rev ds)
+    in
+    let do_crash () =
+      crash_pending := None;
+      st.crashed <- true;
+      let t0 = Sim.Sched.now () in
+      let before = Array.map (fun sti -> sti.comp) states in
+      Pmem.crash st.kv.Kv.pmem;
+      List.iter
+        (fun e ->
+          st.lost <- st.lost + 1;
+          match e.req with
+          | R_scan_part (ctx, _, _) ->
+              scan_part_resolved ctx ~failed:true ~part:[]
+          | R_read _ | R_upsert _ -> ())
+        (Bqueue.drain st.q);
+      st.kv.Kv.reconnect ();
+      Sim.Sched.charge (Crash_test.pool_open_ns ~pools:st.kv.Kv.pools);
+      st.kv.Kv.recover ~tid;
+      st.down_ns <- Sim.Sched.now () -. t0;
+      Array.iteri (fun i sti -> in_outage.(i) <- sti.comp - before.(i)) states
+    in
+    let rec loop () =
+      (match !crash_pending with
+      | Some at when Sim.Sched.now () >= at -> do_crash ()
+      | _ -> ());
+      if not (Bqueue.is_empty st.q) then begin
+        process_batch ();
+        loop ()
+      end
+      else if !clients_done < cfg.clients || !crash_pending <> None then begin
+        (* idle poll; also keeps a scheduled crash armed through idle gaps *)
+        Sim.Sched.charge cfg.poll_ns;
+        loop ()
+      end
+    in
+    loop ();
+    incr workers_done
+  in
+
+  let monitor_body ~tid:_ =
+    let rec loop () =
+      samples :=
+        (Sim.Sched.now (), Array.map (fun st -> Bqueue.length st.q) states)
+        :: !samples;
+      if !workers_done < cfg.shards then begin
+        Sim.Sched.charge cfg.sample_ns;
+        loop ()
+      end
+    in
+    loop ()
+  in
+
+  let fibers =
+    List.init cfg.shards (fun s -> (s, fun ~tid -> worker_body s ~tid))
+    @ List.init cfg.clients (fun c ->
+          (cfg.shards + c, fun ~tid -> client_body c ~tid))
+    @ [ (cfg.shards + cfg.clients, monitor_body) ]
+  in
+  let span =
+    match Sim.Sched.run ~machine:(composite_machine states) fibers with
+    | Sim.Sched.Completed { time; _ } -> time
+    | Sim.Sched.Crashed_at _ -> assert false
+  in
+
+  let sum f = Array.fold_left (fun acc st -> acc + f st) 0 states in
+  (* remote_accesses counts only media-reaching accesses (timing-cache
+     misses and dirty-line write-backs), so it is rated against those, not
+     total accesses — the cache-hit majority never touches the
+     interconnect *)
+  let remote, media =
+    Array.fold_left
+      (fun (r, m) st ->
+        let c = Pmem.counters st.kv.Kv.pmem in
+        ( r + c.Pmem.remote_accesses,
+          m + c.Pmem.load_misses + c.Pmem.store_misses + c.Pmem.dirty_flushes ))
+      (0, 0) states
+  in
+  let shard_reports =
+    Array.to_list
+      (Array.mapi
+         (fun s st ->
+           {
+             Slo.shard = s;
+             zone = Router.zone_of_shard router s;
+             s_enqueued = st.enq;
+             s_completed = st.comp;
+             s_shed = st.shed;
+             s_lost = st.lost;
+             s_batches = st.batches;
+             s_group_flushes = st.flushes;
+             queue_high_water = Bqueue.high_water st.q;
+             crashed = st.crashed;
+             down_ns = st.down_ns;
+             completed_in_outage = in_outage.(s);
+             audit_errors = List.length (st.kv.Kv.audit ());
+             shard_lat = st.hist;
+           })
+         states)
+  in
+  {
+    Slo.config_summary = config_summary cfg;
+    span_ns = span;
+    requests = !requests;
+    enqueued = sum (fun st -> st.enq);
+    completed = !completed;
+    shed = sum (fun st -> st.shed);
+    lost = sum (fun st -> st.lost);
+    failed_scans = !failed_scans;
+    delayed = !delayed;
+    delay_ns_total = !delay_total;
+    goodput_mops =
+      (if span > 0.0 then float_of_int !completed /. span *. 1000.0 else 0.0);
+    offered_mops = cfg.offered_mops;
+    shed_rate =
+      (if !requests = 0 then 0.0
+       else float_of_int (!requests - !completed) /. float_of_int !requests);
+    remote_fraction =
+      (if media = 0 then 0.0 else float_of_int remote /. float_of_int media);
+    merged;
+    shard_reports;
+    depth_series = List.rev !samples;
+  }

@@ -1,0 +1,170 @@
+type lat_summary = {
+  p50 : float;
+  p99 : float;
+  p999 : float;
+  mean : float;
+  max : float;
+  count : int;
+}
+
+let summarize h =
+  let n = Sim.Histogram.count h in
+  if n = 0 then { p50 = 0.0; p99 = 0.0; p999 = 0.0; mean = 0.0; max = 0.0; count = 0 }
+  else
+    {
+      p50 = Sim.Histogram.percentile h 50.0;
+      p99 = Sim.Histogram.percentile h 99.0;
+      p999 = Sim.Histogram.percentile h 99.9;
+      mean = Sim.Histogram.mean h;
+      max = Sim.Histogram.max_value h;
+      count = n;
+    }
+
+type shard_report = {
+  shard : int;
+  zone : int;
+  s_enqueued : int;
+  s_completed : int;
+  s_shed : int;
+  s_lost : int;
+  s_batches : int;
+  s_group_flushes : int;
+  queue_high_water : int;
+  crashed : bool;
+  down_ns : float;
+  completed_in_outage : int;
+  audit_errors : int;
+  shard_lat : Sim.Histogram.t;
+}
+
+type t = {
+  config_summary : (string * string) list;
+  span_ns : float;
+  requests : int;
+  enqueued : int;
+  completed : int;
+  shed : int;
+  lost : int;
+  failed_scans : int;
+  delayed : int;
+  delay_ns_total : float;
+  goodput_mops : float;
+  offered_mops : float;
+  shed_rate : float;
+  remote_fraction : float;
+  merged : Sim.Histogram.t;
+  shard_reports : shard_report list;
+  depth_series : (float * int array) list;
+}
+
+(* Fixed number formatting keeps the JSON byte-stable across runs: floats
+   always go through %.3f (virtual ns and rates need no more precision and
+   %g's exponent switch-over would make near-zero values format-unstable). *)
+let fnum v = Printf.sprintf "%.3f" v
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let lat_json h =
+  let s = summarize h in
+  Printf.sprintf
+    "{\"count\":%d,\"mean\":%s,\"p50\":%s,\"p99\":%s,\"p999\":%s,\"max\":%s}"
+    s.count (fnum s.mean) (fnum s.p50) (fnum s.p99) (fnum s.p999) (fnum s.max)
+
+let shard_json s =
+  Printf.sprintf
+    "{\"shard\":%d,\"zone\":%d,\"enqueued\":%d,\"completed\":%d,\"shed\":%d,\
+     \"lost\":%d,\"batches\":%d,\"group_flushes\":%d,\"queue_high_water\":%d,\
+     \"crashed\":%b,\"down_ns\":%s,\"completed_in_outage\":%d,\
+     \"audit_errors\":%d,\"latency_ns\":%s}"
+    s.shard s.zone s.s_enqueued s.s_completed s.s_shed s.s_lost s.s_batches
+    s.s_group_flushes s.queue_high_water s.crashed (fnum s.down_ns)
+    s.completed_in_outage s.audit_errors (lat_json s.shard_lat)
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\"schema\":\"upskip-svc-slo/1\",";
+  add "\"config\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      add "\"%s\":\"%s\"" (escape k) (escape v))
+    t.config_summary;
+  add "},";
+  add "\"span_ns\":%s," (fnum t.span_ns);
+  add "\"offered_mops\":%s," (fnum t.offered_mops);
+  add "\"goodput_mops\":%s," (fnum t.goodput_mops);
+  add "\"requests\":%d," t.requests;
+  add "\"enqueued\":%d," t.enqueued;
+  add "\"completed\":%d," t.completed;
+  add "\"shed\":%d," t.shed;
+  add "\"lost\":%d," t.lost;
+  add "\"failed_scans\":%d," t.failed_scans;
+  add "\"delayed\":%d," t.delayed;
+  add "\"delay_ns_total\":%s," (fnum t.delay_ns_total);
+  add "\"shed_rate\":%s," (fnum t.shed_rate);
+  add "\"remote_fraction\":%s," (fnum t.remote_fraction);
+  add "\"latency_ns\":%s," (lat_json t.merged);
+  add "\"shards\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (shard_json s))
+    t.shard_reports;
+  add "],";
+  add "\"depth_series\":[";
+  List.iteri
+    (fun i (time, depths) ->
+      if i > 0 then Buffer.add_char b ',';
+      add "{\"t_ns\":%s,\"depth\":[%s]}" (fnum time)
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int depths))))
+    t.depth_series;
+  add "]}";
+  Buffer.contents b
+
+let pp fmt t =
+  let open Format in
+  let m = summarize t.merged in
+  fprintf fmt "service run: %d requests over %.3f ms simulated@."
+    t.requests (t.span_ns /. 1e6);
+  fprintf fmt
+    "  offered %.3f Mops/s  goodput %.3f Mops/s  shed rate %.2f%%@."
+    t.offered_mops t.goodput_mops (100.0 *. t.shed_rate);
+  fprintf fmt
+    "  completed %d  shed %d  lost %d  failed scans %d  delayed %d@."
+    t.completed t.shed t.lost t.failed_scans t.delayed;
+  fprintf fmt
+    "  latency p50 %.0f ns  p99 %.0f ns  p99.9 %.0f ns  mean %.0f ns@."
+    m.p50 m.p99 m.p999 m.mean;
+  fprintf fmt "  remote PMEM access fraction %.3f@." t.remote_fraction;
+  fprintf fmt
+    "  %-5s %-4s %9s %9s %6s %6s %7s %7s %6s %9s %9s@." "shard" "zone"
+    "enqueued" "complete" "shed" "lost" "batches" "hwm" "audit" "p50ns"
+    "p99ns";
+  List.iter
+    (fun s ->
+      let l = summarize s.shard_lat in
+      fprintf fmt "  %-5d %-4d %9d %9d %6d %6d %7d %7d %6d %9.0f %9.0f%s@."
+        s.shard s.zone s.s_enqueued s.s_completed s.s_shed s.s_lost
+        s.s_batches s.queue_high_water s.audit_errors l.p50 l.p99
+        (if s.crashed then
+           Printf.sprintf "  [crashed, down %.3f ms]" (s.down_ns /. 1e6)
+         else if s.completed_in_outage > 0 then
+           Printf.sprintf "  [%d completed during outage]"
+             s.completed_in_outage
+         else ""))
+    t.shard_reports

@@ -1,0 +1,68 @@
+(** SLO report for a service run: per-shard and merged latency
+    distributions, goodput vs shed rate, queue-depth time series, and a
+    deterministic JSON rendering (same seed + config ⇒ byte-identical
+    output — it is diffed in regression tests). *)
+
+type lat_summary = {
+  p50 : float;
+  p99 : float;
+  p999 : float;
+  mean : float;
+  max : float;
+  count : int;
+}
+
+val summarize : Sim.Histogram.t -> lat_summary
+(** All zeros when the histogram is empty. *)
+
+type shard_report = {
+  shard : int;
+  zone : int;
+  s_enqueued : int;  (** sub-requests admitted (scan parts count each) *)
+  s_completed : int;
+  s_shed : int;
+  s_lost : int;  (** backlog dropped when the shard crashed *)
+  s_batches : int;
+  s_group_flushes : int;
+  queue_high_water : int;
+  crashed : bool;
+  down_ns : float;  (** outage duration; 0 when the shard never crashed *)
+  completed_in_outage : int;
+      (** this shard's completions inside the run's outage window — for
+          healthy shards the liveness signal while a peer recovers *)
+  audit_errors : int;
+  shard_lat : Sim.Histogram.t;  (** per-sub-request service latency *)
+}
+
+type t = {
+  config_summary : (string * string) list;
+      (** ordered, deterministic key/value rendering of the config *)
+  span_ns : float;
+  requests : int;  (** client-issued (a scan counts once) *)
+  enqueued : int;
+  completed : int;
+  shed : int;
+  lost : int;
+  failed_scans : int;  (** scans with at least one shed or lost part *)
+  delayed : int;  (** admission retries under the Delay policy *)
+  delay_ns_total : float;
+  goodput_mops : float;  (** client-visible completions / span *)
+  offered_mops : float;
+  shed_rate : float;
+      (** fraction of issued requests that never completed (shed, lost, or
+          failed-scan), i.e. [(requests - completed) / requests] *)
+  remote_fraction : float;
+      (** fraction of PMEM media accesses (timing-cache misses plus
+          dirty-line write-backs) that crossed NUMA zones, summed over all
+          shards *)
+  merged : Sim.Histogram.t;  (** client-visible request latency, all shards *)
+  shard_reports : shard_report list;
+  depth_series : (float * int array) list;
+      (** (time, per-shard queue depth) samples, ascending in time *)
+}
+
+val to_json : t -> string
+(** Canonical JSON (fixed key order, fixed number formatting). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable table: totals, merged percentiles, one row per shard. *)

@@ -247,6 +247,104 @@ let test_sched_completed_counts_events () =
   let _, events = run pmem [ body ] in
   check_int "ten events" 10 events
 
+(* ---- Histogram merge ---------------------------------------------------- *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_hist_merge_counts () =
+  let a = Sim.Histogram.create () and b = Sim.Histogram.create () in
+  List.iter (Sim.Histogram.add a) [ 1.0; 5.0; 100.0 ];
+  List.iter (Sim.Histogram.add b) [ 2.0; 3000.0 ];
+  let m = Sim.Histogram.merge a b in
+  check_int "count" 5 (Sim.Histogram.count m);
+  check_float "sum" 3108.0 (Sim.Histogram.sum m);
+  check_float "min" 1.0 (Sim.Histogram.min_value m);
+  check_float "max" 3000.0 (Sim.Histogram.max_value m);
+  (* inputs untouched *)
+  check_int "a intact" 3 (Sim.Histogram.count a);
+  check_int "b intact" 2 (Sim.Histogram.count b)
+
+let test_hist_merge_empty () =
+  let a = Sim.Histogram.create () and b = Sim.Histogram.create () in
+  Sim.Histogram.add a 42.0;
+  let m = Sim.Histogram.merge a b in
+  check_int "count" 1 (Sim.Histogram.count m);
+  check_float "min" 42.0 (Sim.Histogram.min_value m);
+  check_float "max" 42.0 (Sim.Histogram.max_value m);
+  check_int "both empty" 0 Sim.Histogram.(count (merge b (create ())))
+
+let test_hist_merge_percentiles () =
+  (* merging shards must agree with recording everything in one histogram:
+     identical bucket layouts make the merge exact, not approximate *)
+  let whole = Sim.Histogram.create () in
+  let parts = Array.init 4 (fun _ -> Sim.Histogram.create ()) in
+  let r = Sim.Rng.create 99 in
+  for i = 0 to 9_999 do
+    let v = float_of_int (1 + Sim.Rng.int r 1_000_000) in
+    Sim.Histogram.add whole v;
+    Sim.Histogram.add parts.(i mod 4) v
+  done;
+  let m = Sim.Histogram.merge_list (Array.to_list parts) in
+  check_int "count" (Sim.Histogram.count whole) (Sim.Histogram.count m);
+  List.iter
+    (fun p ->
+      check_float
+        (Printf.sprintf "p%g" p)
+        (Sim.Histogram.percentile whole p)
+        (Sim.Histogram.percentile m p))
+    [ 0.0; 50.0; 99.0; 99.9; 100.0 ]
+
+let test_hist_merge_list_empty () =
+  check_int "empty list" 0 (Sim.Histogram.count (Sim.Histogram.merge_list []))
+
+(* ---- Arrival processes -------------------------------------------------- *)
+
+let test_arrival_deterministic () =
+  let a = Sim.Arrival.create ~seed:5 ~mean_gap_ns:100.0 Sim.Arrival.Poisson in
+  let b = Sim.Arrival.create ~seed:5 ~mean_gap_ns:100.0 Sim.Arrival.Poisson in
+  for _ = 1 to 200 do
+    check_float "same stream" (Sim.Arrival.next_gap_ns a)
+      (Sim.Arrival.next_gap_ns b)
+  done
+
+let test_arrival_fixed () =
+  let a = Sim.Arrival.create ~seed:1 ~mean_gap_ns:250.0 Sim.Arrival.Fixed in
+  for _ = 1 to 10 do
+    check_float "constant gap" 250.0 (Sim.Arrival.next_gap_ns a)
+  done
+
+let test_arrival_poisson_mean () =
+  let a = Sim.Arrival.create ~seed:3 ~mean_gap_ns:1000.0 Sim.Arrival.Poisson in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let g = Sim.Arrival.next_gap_ns a in
+    check_bool "positive" true (g > 0.0);
+    sum := !sum +. g
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean within 5%" true (abs_float (mean -. 1000.0) < 50.0)
+
+let test_arrival_jitter_bounds () =
+  let a =
+    Sim.Arrival.create ~seed:9 ~mean_gap_ns:1000.0 (Sim.Arrival.Jittered 0.25)
+  in
+  for _ = 1 to 1000 do
+    let g = Sim.Arrival.next_gap_ns a in
+    check_bool "within jitter band" true (g >= 750.0 && g <= 1250.0)
+  done
+
+let test_arrival_kind_strings () =
+  List.iter
+    (fun k ->
+      match Sim.Arrival.kind_of_string (Sim.Arrival.kind_to_string k) with
+      | Ok k' ->
+          check_bool "round trip" true (k = k')
+      | Error e -> Alcotest.fail e)
+    [ Sim.Arrival.Poisson; Sim.Arrival.Fixed; Sim.Arrival.Jittered 0.25 ];
+  check_bool "unknown rejected" true
+    (Result.is_error (Sim.Arrival.kind_of_string "bursty"))
+
 let () =
   Alcotest.run "sim"
     [
@@ -281,5 +379,20 @@ let () =
           case "crash stops execution" test_sched_crash_stops_execution;
           case "crash kills all fibers" test_sched_crash_kills_all_fibers;
           case "event counting" test_sched_completed_counts_events;
+        ] );
+      ( "histogram-merge",
+        [
+          case "counts and bounds" test_hist_merge_counts;
+          case "empty operand" test_hist_merge_empty;
+          case "percentiles match unsharded" test_hist_merge_percentiles;
+          case "merge_list []" test_hist_merge_list_empty;
+        ] );
+      ( "arrival",
+        [
+          case "deterministic" test_arrival_deterministic;
+          case "fixed gaps" test_arrival_fixed;
+          case "poisson mean" test_arrival_poisson_mean;
+          case "jitter bounds" test_arrival_jitter_bounds;
+          case "kind strings" test_arrival_kind_strings;
         ] );
     ]

@@ -1,0 +1,253 @@
+(* Tests for the sharded service layer: router placement and range
+   planning, the bounded queue, end-to-end service runs (determinism,
+   sharding speedup, scan fan-out), and one-shard crash recovery under
+   open-loop load. *)
+
+open Testsupport
+module Router = Svc.Router
+module Bqueue = Svc.Bqueue
+module Config = Svc.Config
+module Service = Svc.Service
+module Slo = Svc.Slo
+
+(* ---- Router -------------------------------------------------------------- *)
+
+let test_router_placement () =
+  let r = Router.create ~shards:4 ~zones:4 in
+  let counts = Array.make 4 0 in
+  for k = 1 to 10_000 do
+    let s = Router.shard_of_key r k in
+    check_bool "in range" true (s >= 0 && s < 4);
+    check_int "stable" s (Router.shard_of_key r k);
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun s c ->
+      check_bool
+        (Printf.sprintf "shard %d balanced (%d)" s c)
+        true
+        (c > 1_500 && c < 3_500))
+    counts;
+  check_int "zone of shard" 2 (Router.zone_of_shard r 2);
+  check_int "zone wraps" 1 (Router.zone_of_shard (Router.create ~shards:8 ~zones:4) 5);
+  check_int "client zone" 3 (Router.zone_of_client r 7)
+
+let test_router_hop () =
+  let r = Router.create ~shards:4 ~zones:4 in
+  let hop = Router.hop_ns r ~local_ns:100.0 ~remote_ns:900.0 in
+  Alcotest.(check (float 0.0)) "local" 100.0 (hop ~from_zone:2 ~to_zone:2);
+  Alcotest.(check (float 0.0)) "remote" 900.0 (hop ~from_zone:0 ~to_zone:3)
+
+let test_router_range_plan () =
+  let r = Router.create ~shards:4 ~zones:4 in
+  check_bool "empty range" true (Router.shards_of_range r ~lo:10 ~hi:9 = []);
+  check_bool "singleton" true
+    (Router.shards_of_range r ~lo:10 ~hi:10 = [ Router.shard_of_key r 10 ]);
+  (* a narrow plan must cover the owner of every key in the range *)
+  let plan = Router.shards_of_range r ~lo:100 ~hi:102 in
+  for k = 100 to 102 do
+    check_bool "covers key owner" true
+      (List.mem (Router.shard_of_key r k) plan)
+  done;
+  check_bool "narrow plan is a subset" true
+    (List.length plan <= 3 && List.for_all (fun s -> s >= 0 && s < 4) plan);
+  check_bool "wide range hits all shards" true
+    (Router.shards_of_range r ~lo:1 ~hi:100 = [ 0; 1; 2; 3 ]);
+  check_bool "one shard trivial" true
+    (Router.shards_of_range (Router.create ~shards:1 ~zones:1) ~lo:1 ~hi:2
+    = [ 0 ])
+
+let test_router_merge () =
+  let parts = [ [ (1, 10); (4, 40) ]; [ (2, 20) ]; []; [ (3, 30); (9, 90) ] ] in
+  check_pairs "merged ascending"
+    [ (1, 10); (2, 20); (3, 30); (4, 40); (9, 90) ]
+    (Router.merge_ranges parts);
+  check_pairs "empty" [] (Router.merge_ranges [ []; [] ])
+
+(* ---- Bounded queue ------------------------------------------------------- *)
+
+let test_bqueue () =
+  let q = Bqueue.create ~cap:3 in
+  check_bool "empty" true (Bqueue.is_empty q);
+  check_bool "push 1" true (Bqueue.push q 1);
+  check_bool "push 2" true (Bqueue.push q 2);
+  check_bool "push 3" true (Bqueue.push q 3);
+  check_bool "full rejects" false (Bqueue.push q 4);
+  check_int "high water" 3 (Bqueue.high_water q);
+  check_bool "fifo batch" true (Bqueue.pop_up_to q 2 = [ 1; 2 ]);
+  check_bool "admits again" true (Bqueue.push q 5);
+  check_bool "drain" true (Bqueue.drain q = [ 3; 5 ]);
+  check_bool "empty again" true (Bqueue.is_empty q);
+  check_int "high water sticky" 3 (Bqueue.high_water q)
+
+(* ---- Service runs -------------------------------------------------------- *)
+
+let fast_sys =
+  {
+    Harness.Kv.default_sys with
+    latency = Pmem.Latency.uniform;
+    numa_nodes = 1;
+    pool_words = 1 lsl 18;
+  }
+
+let base =
+  {
+    Config.default with
+    sys = fast_sys;
+    shards = 2;
+    zones = 2;
+    clients = 4;
+    requests_per_client = 100;
+    offered_mops = 4.0;
+    n_initial = 256;
+    sample_ns = 20_000.0;
+  }
+
+(* Every admitted sub-request must resolve by the end of the run: workers
+   drain their queues before exiting, so completions + crash losses account
+   for every enqueue. *)
+let check_conservation (r : Slo.t) =
+  let sub_completed =
+    List.fold_left (fun acc s -> acc + s.Slo.s_completed) 0 r.Slo.shard_reports
+  in
+  check_int "enqueued = completed + lost (sub-requests)" r.Slo.enqueued
+    (sub_completed + r.Slo.lost)
+
+let test_svc_determinism () =
+  let json () = Slo.to_json (Service.run base) in
+  let a = json () in
+  check_bool "non-trivial run" true (String.length a > 200);
+  Alcotest.(check string) "byte-identical SLO JSON" a (json ())
+
+let test_svc_completes_requests () =
+  let r = Service.run base in
+  check_int "all issued" (base.Config.clients * base.Config.requests_per_client)
+    r.Slo.requests;
+  check_bool "most requests complete" true
+    (r.Slo.completed > r.Slo.requests / 2);
+  check_bool "latency recorded" true
+    (Sim.Histogram.count r.Slo.merged = r.Slo.completed);
+  check_bool "goodput positive" true (r.Slo.goodput_mops > 0.0);
+  check_conservation r;
+  List.iter
+    (fun s -> check_int "audit clean" 0 s.Slo.audit_errors)
+    r.Slo.shard_reports
+
+let test_svc_sharding_speedup () =
+  (* same offered load, far above one worker's service rate: four shards
+     must clear more of it than one *)
+  let load cfg = { cfg with Config.offered_mops = 40.0; clients = 8;
+                   requests_per_client = 300; workload = Ycsb.Workload.c;
+                   net_local_ns = 50.0; net_remote_ns = 100.0 }
+  in
+  let r1 = Service.run (load { base with Config.shards = 1; zones = 1 }) in
+  let r4 = Service.run (load { base with Config.shards = 4; zones = 4 }) in
+  check_bool "one shard saturates" true (r1.Slo.shed > 0);
+  check_bool
+    (Printf.sprintf "4 shards beat 1 (%.3f vs %.3f Mops/s)"
+       r4.Slo.goodput_mops r1.Slo.goodput_mops)
+    true
+    (r4.Slo.goodput_mops > 1.2 *. r1.Slo.goodput_mops);
+  check_conservation r1;
+  check_conservation r4
+
+let test_svc_scan_fanout () =
+  let cfg =
+    { base with Config.shards = 4; zones = 4; workload = Ycsb.Workload.e;
+      offered_mops = 2.0 }
+  in
+  let r = Service.run cfg in
+  check_bool "scans complete" true (r.Slo.completed > 0);
+  check_bool "accounted" true
+    (r.Slo.completed + r.Slo.failed_scans <= r.Slo.requests);
+  (* scan-heavy traffic fans out: more sub-requests than requests *)
+  check_bool "fan-out happened" true (r.Slo.enqueued > r.Slo.requests / 2 * 3);
+  check_conservation r
+
+let test_svc_delay_policy () =
+  let cfg =
+    { base with Config.policy = Config.Delay 2_000.0; offered_mops = 100.0;
+      clients = 8; queue_cap = 8; net_local_ns = 50.0; net_remote_ns = 100.0 }
+  in
+  let r = Service.run cfg in
+  (* pushback instead of shedding: every request eventually completes *)
+  check_int "nothing shed" 0 r.Slo.shed;
+  check_int "everything completes" r.Slo.requests r.Slo.completed;
+  check_bool "clients were delayed" true (r.Slo.delayed > 0);
+  check_bool "delay time accounted" true (r.Slo.delay_ns_total > 0.0)
+
+let test_svc_crash_recovery () =
+  let cfg =
+    {
+      base with
+      Config.shards = 4;
+      zones = 4;
+      clients = 4;
+      requests_per_client = 400;
+      offered_mops = 4.0;
+      workload = Ycsb.Workload.a;
+      queue_cap = 64;
+      crash = Some { Config.crash_shard = 1; crash_at_ns = 50_000.0 };
+    }
+  in
+  let r = Service.run cfg in
+  let shard s = List.nth r.Slo.shard_reports s in
+  check_bool "shard 1 crashed" true (shard 1).Slo.crashed;
+  check_bool "outage dominated by pool reopen" true
+    ((shard 1).Slo.down_ns > 1e6);
+  check_bool "crashed shard dropped or shed work" true
+    ((shard 1).Slo.s_lost + (shard 1).Slo.s_shed > 0);
+  List.iter
+    (fun s ->
+      check_int
+        (Printf.sprintf "shard %d audit clean after crash" s.Slo.shard)
+        0 s.Slo.audit_errors;
+      if not s.Slo.crashed then
+        check_bool
+          (Printf.sprintf "shard %d kept serving during outage" s.Slo.shard)
+          true
+          (s.Slo.completed_in_outage > 0))
+    r.Slo.shard_reports;
+  check_bool "service goodput survived" true (r.Slo.completed > 0);
+  check_conservation r
+
+let test_svc_validation () =
+  let bad cfg =
+    match Config.validate cfg with Ok () -> false | Error _ -> true
+  in
+  check_bool "zero shards" true (bad { base with Config.shards = 0 });
+  check_bool "unknown structure" true
+    (bad { base with Config.structure = "btree9000" });
+  check_bool "crash shard range" true
+    (bad
+       { base with
+         Config.crash = Some { Config.crash_shard = 9; crash_at_ns = 1.0 } });
+  check_bool "negative offered load" true
+    (bad { base with Config.offered_mops = 0.0 });
+  check_bool "base ok" false (bad base);
+  Alcotest.check_raises "run rejects invalid config"
+    (Invalid_argument "Svc.Service.run: shards must be positive (got 0)")
+    (fun () -> ignore (Service.run { base with Config.shards = 0 }))
+
+let () =
+  Alcotest.run "svc"
+    [
+      ( "router",
+        [
+          case "placement" test_router_placement;
+          case "hop costs" test_router_hop;
+          case "range planning" test_router_range_plan;
+          case "k-way merge" test_router_merge;
+        ] );
+      ("queue", [ case "bounded fifo" test_bqueue ]);
+      ( "service",
+        [
+          case "deterministic SLO JSON" test_svc_determinism;
+          case "requests complete" test_svc_completes_requests;
+          slow_case "sharding speedup" test_svc_sharding_speedup;
+          case "scan fan-out" test_svc_scan_fanout;
+          case "delay backpressure" test_svc_delay_policy;
+          slow_case "one-shard crash recovery" test_svc_crash_recovery;
+          case "config validation" test_svc_validation;
+        ] );
+    ]
