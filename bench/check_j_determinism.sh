@@ -1,0 +1,33 @@
+#!/bin/sh
+# Byte-identity check for the -j flag: a parallel bench run must produce
+# exactly the sequential report and JSON trajectory. Host wall-clock lines
+# ("[x finished in y s]", "total wall time", "wall_s") are the only
+# permitted differences; everything simulated must match to the byte.
+
+set -eu
+
+strip_wall() {
+  grep -v -e 'finished in' -e 'total wall time' -e 'perf trajectory written' "$1"
+}
+
+strip_wall_json() {
+  grep -v -e '"wall_s"' -e '"total_wall_s"' "$1"
+}
+
+strip_wall smoke_j1.out > j1.stripped
+strip_wall smoke_j4.out > j4.stripped
+if ! cmp -s j1.stripped j4.stripped; then
+  echo "bench stdout differs between -j 1 and -j 4:" >&2
+  diff j1.stripped j4.stripped >&2 || true
+  exit 1
+fi
+
+strip_wall_json smoke_j1.json > j1.json.stripped
+strip_wall_json smoke_j4.json > j4.json.stripped
+if ! cmp -s j1.json.stripped j4.json.stripped; then
+  echo "bench --json trajectory differs between -j 1 and -j 4:" >&2
+  diff j1.json.stripped j4.json.stripped >&2 || true
+  exit 1
+fi
+
+echo "-j determinism: smoke report and JSON byte-identical (j1 vs j4)"

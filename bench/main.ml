@@ -56,6 +56,13 @@ let full =
 let scale = ref quick
 let seed = 20210811
 
+(* Worker domains for the sweep grid (-j N; -j 1 = the sequential path).
+   Every job below is a self-contained chain — it creates its own fixture,
+   preloads it, and runs its sweeps in the exact order the sequential code
+   always did — and all printing happens after ordered collection, so the
+   report (and the --json samples) are byte-identical for any [jobs]. *)
+let jobs = ref (Sim.Pool.default_jobs ())
+
 (* The paper runs the three-way comparison on the striped device. *)
 let striped_sys =
   { Kv.default_sys with mode = Pmem.Striped; pool_words = 1 lsl 21 }
@@ -64,11 +71,11 @@ let multi_sys = { Kv.default_sys with mode = Pmem.Multi_pool; pool_words = 1 lsl
 
 let bench_cfg = { Upskiplist.Config.default with keys_per_node = 64; max_height = 24 }
 
-let make_structures () =
+let structure_makers () =
   [
-    ("UPSkipList", Kv.make_upskiplist ~cfg:bench_cfg striped_sys);
-    ("BzTree", Kv.make_bztree ~n_descriptors:120_000 striped_sys);
-    ("PMDK skip list", Kv.make_pmdk_list striped_sys);
+    ("UPSkipList", fun () -> Kv.make_upskiplist ~cfg:bench_cfg striped_sys);
+    ("BzTree", fun () -> Kv.make_bztree ~n_descriptors:120_000 striped_sys);
+    ("PMDK skip list", fun () -> Kv.make_pmdk_list striped_sys);
   ]
 
 (* Throughput sweep for one (structure, workload): preload once, then run
@@ -86,16 +93,24 @@ let preload_threads = 8
 
 let throughput_figure ~title ~workloads =
   Report.heading title;
-  let structures = make_structures () in
-  List.iter
-    (fun (_, kv) -> Driver.preload kv ~threads:preload_threads ~n:!scale.n_initial)
-    structures;
+  (* one job per structure: each owns its kv for the whole figure and runs
+     the workloads in order, so per-kv simulated results match a
+     sequential run exactly *)
+  let per_structure =
+    Sim.Pool.run ~jobs:!jobs
+      (List.map
+         (fun (name, make) () ->
+           let kv = make () in
+           Driver.preload kv ~threads:preload_threads ~n:!scale.n_initial;
+           (name, List.map (fun spec -> (spec, sweep kv ~spec)) workloads))
+         (structure_makers ()))
+  in
   List.iter
     (fun spec ->
       let columns =
         List.map
-          (fun (name, kv) -> (name ^ " (Mops/s)", sweep kv ~spec))
-          structures
+          (fun (name, sweeps) -> (name ^ " (Mops/s)", List.assq spec sweeps))
+          per_structure
       in
       Report.series
         ~title:
@@ -124,11 +139,7 @@ let fig_5_3 () =
     "Figure 5.3 — read-only throughput: RIV pointers (UPSkipList, 1 key/node) \
      vs fat pointers (PMDK lock-based skip list)";
   let cfg1 = { Upskiplist.Config.default with keys_per_node = 1; max_height = 24 } in
-  let riv = Kv.make_upskiplist ~cfg:cfg1 striped_sys in
-  let fat = Kv.make_pmdk_list ~max_height:24 striped_sys in
   let n = !scale.n_initial / 2 in
-  Driver.preload riv ~threads:preload_threads ~n;
-  Driver.preload fat ~threads:preload_threads ~n;
   let run kv =
     List.map
       (fun threads ->
@@ -137,7 +148,22 @@ let fig_5_3 () =
           ~ops_per_thread ~seed ~trials:!scale.trials)
       !scale.threads_sweep
   in
-  let riv_series = run riv and fat_series = run fat in
+  let chain make () =
+    let kv = make () in
+    Driver.preload kv ~threads:preload_threads ~n;
+    run kv
+  in
+  let riv_series, fat_series =
+    match
+      Sim.Pool.run ~jobs:!jobs
+        [
+          chain (fun () -> Kv.make_upskiplist ~cfg:cfg1 striped_sys);
+          chain (fun () -> Kv.make_pmdk_list ~max_height:24 striped_sys);
+        ]
+    with
+    | [ r; f ] -> (r, f)
+    | _ -> assert false
+  in
   Report.series ~title:"Workload C, single key per node" ~x_label:"threads"
     ~x_values:!scale.threads_sweep
     ~columns:
@@ -160,15 +186,20 @@ let fig_5_4 () =
   Report.heading
     "Figure 5.4 / Table 5.2 — UPSkipList on one pool per NUMA node \
      (NUMA-aware) vs a single striped pool";
-  let striped = Kv.make_upskiplist ~cfg:bench_cfg striped_sys in
-  let multi = Kv.make_upskiplist ~cfg:bench_cfg multi_sys in
-  Driver.preload striped ~threads:preload_threads ~n:!scale.n_initial;
-  Driver.preload multi ~threads:preload_threads ~n:!scale.n_initial;
+  let wl = [ W.a; W.b; W.c; W.d ] in
+  let chain sys () =
+    let kv = Kv.make_upskiplist ~cfg:bench_cfg sys in
+    Driver.preload kv ~threads:preload_threads ~n:!scale.n_initial;
+    List.map (fun spec -> sweep kv ~spec) wl
+  in
+  let s_sweeps, m_sweeps =
+    match Sim.Pool.run ~jobs:!jobs [ chain striped_sys; chain multi_sys ] with
+    | [ s; m ] -> (s, m)
+    | _ -> assert false
+  in
   let impacts =
-    List.map
-      (fun spec ->
-        let s_series = sweep striped ~spec in
-        let m_series = sweep multi ~spec in
+    List.map2
+      (fun spec (s_series, m_series) ->
         Report.series
           ~title:(Printf.sprintf "Workload %s" spec.W.label)
           ~x_label:"threads" ~x_values:!scale.threads_sweep
@@ -180,7 +211,8 @@ let fig_5_4 () =
                       /. float_of_int (List.length xs) in
         let impact = 100.0 *. (1.0 -. (mean m_series /. mean s_series)) in
         (spec.W.label, impact))
-      [ W.a; W.b; W.c; W.d ]
+      wl
+      (List.combine s_sweeps m_sweeps)
   in
   Report.subheading "Table 5.2 — throughput reduction of NUMA-aware multi-pool";
   Report.table
@@ -199,26 +231,25 @@ let fig_5_4 () =
 (* ---- Figures 5.5 / 5.6 + Table 5.3: latency percentiles -------------------- *)
 
 let latency_runs () =
-  let structures = make_structures () in
-  List.iter
-    (fun (_, kv) -> Driver.preload kv ~threads:preload_threads ~n:!scale.n_initial)
-    structures;
-  List.map
-    (fun (name, kv) ->
-      let per_workload =
-        List.map
-          (fun spec ->
-            let threads = !scale.latency_threads in
-            let res =
-              Driver.run_workload kv ~spec ~threads ~n_initial:!scale.n_initial
-                ~ops_per_thread:(max 10 (!scale.latency_ops / threads))
-                ~seed:(seed + 5)
-            in
-            (spec, res))
-          [ W.a; W.b; W.c; W.d ]
-      in
-      (name, per_workload))
-    structures
+  Sim.Pool.run ~jobs:!jobs
+    (List.map
+       (fun (name, make) () ->
+         let kv = make () in
+         Driver.preload kv ~threads:preload_threads ~n:!scale.n_initial;
+         let per_workload =
+           List.map
+             (fun spec ->
+               let threads = !scale.latency_threads in
+               let res =
+                 Driver.run_workload kv ~spec ~threads ~n_initial:!scale.n_initial
+                   ~ops_per_thread:(max 10 (!scale.latency_ops / threads))
+                   ~seed:(seed + 5)
+               in
+               (spec, res))
+             [ W.a; W.b; W.c; W.d ]
+         in
+         (name, per_workload))
+       (structure_makers ()))
 
 let fig_5_5_5_6_table_5_3 () =
   Report.heading
@@ -280,58 +311,49 @@ let workload_e () =
   Report.heading
     "Workload E (scan-heavy, extension) — range-query throughput across the \
      three structures";
-  let structures = make_structures () in
-  List.iter
-    (fun (_, kv) -> Driver.preload kv ~threads:preload_threads ~n:!scale.n_initial)
-    structures;
-  let columns =
-    List.map (fun (name, kv) -> (name ^ " (Mops/s)", sweep kv ~spec:W.e)) structures
-  in
-  Report.series ~title:"Workload E (95% scans of <=100 keys, 5% inserts)"
-    ~x_label:"threads" ~x_values:!scale.threads_sweep ~columns;
-  (* snapshot vs per-node-validated range cost on UPSkipList *)
-  let cfg = bench_cfg in
-  let sys = striped_sys in
-  let pmem = Kv.make_pmem sys in
-  let bw = Upskiplist.Skiplist.required_block_words cfg in
-  let mem = Memory.Mem.create ~pmem ~chunk_words:(64 * bw) ~block_words:bw ~n_arenas:8 in
-  Memory.Mem.format mem;
-  let sl = Upskiplist.Skiplist.create ~mem ~cfg ~max_threads:sys.Kv.max_threads ~seed in
-  (match
-     Sim.Sched.run ~machine:(Pmem.machine pmem)
-       (List.init 8 (fun tid ->
-            ( tid,
-              fun ~tid ->
-                let i = ref (tid + 1) in
-                while !i <= !scale.n_initial do
-                  ignore (Upskiplist.Skiplist.upsert sl ~tid !i (!i + 7));
-                  i := !i + 8
-                done )))
-   with
-  | Sim.Sched.Completed _ -> ()
-  | Sim.Sched.Crashed_at _ -> failwith "crash");
-  let time_kind name f =
-    let total = ref 0.0 and count = ref 0 in
+  (* snapshot vs per-node-validated range cost on UPSkipList; its own
+     skip-list fixture, so it runs as one more pool job beside the sweeps *)
+  let range_semantics () =
+    let cfg = bench_cfg in
+    let sys = striped_sys in
+    let pmem = Kv.make_pmem sys in
+    let bw = Upskiplist.Skiplist.required_block_words cfg in
+    let mem = Memory.Mem.create ~pmem ~chunk_words:(64 * bw) ~block_words:bw ~n_arenas:8 in
+    Memory.Mem.format mem;
+    let sl = Upskiplist.Skiplist.create ~mem ~cfg ~max_threads:sys.Kv.max_threads ~seed in
     (match
        Sim.Sched.run ~machine:(Pmem.machine pmem)
-         (List.init 16 (fun tid ->
+         (List.init 8 (fun tid ->
               ( tid,
                 fun ~tid ->
-                  let rng = Sim.Rng.create (7000 + tid) in
-                  for _ = 1 to 40 do
-                    let lo = 1 + Sim.Rng.int rng (!scale.n_initial - 200) in
-                    let t0 = Sim.Sched.now () in
-                    ignore (f ~tid ~lo ~hi:(lo + 100));
-                    total := !total +. (Sim.Sched.now () -. t0);
-                    incr count
+                  let i = ref (tid + 1) in
+                  while !i <= !scale.n_initial do
+                    ignore (Upskiplist.Skiplist.upsert sl ~tid !i (!i + 7));
+                    i := !i + 8
                   done )))
      with
     | Sim.Sched.Completed _ -> ()
     | Sim.Sched.Crashed_at _ -> failwith "crash");
-    (name, !total /. float_of_int !count /. 1000.0)
-  in
-  (* concurrent updaters to stress snapshot retries *)
-  let rows =
+    let time_kind name f =
+      let total = ref 0.0 and count = ref 0 in
+      (match
+         Sim.Sched.run ~machine:(Pmem.machine pmem)
+           (List.init 16 (fun tid ->
+                ( tid,
+                  fun ~tid ->
+                    let rng = Sim.Rng.create (7000 + tid) in
+                    for _ = 1 to 40 do
+                      let lo = 1 + Sim.Rng.int rng (!scale.n_initial - 200) in
+                      let t0 = Sim.Sched.now () in
+                      ignore (f ~tid ~lo ~hi:(lo + 100));
+                      total := !total +. (Sim.Sched.now () -. t0);
+                      incr count
+                    done )))
+       with
+      | Sim.Sched.Completed _ -> ()
+      | Sim.Sched.Crashed_at _ -> failwith "crash");
+      (name, !total /. float_of_int !count /. 1000.0)
+    in
     [
       time_kind "per-node validated range (paper semantics)"
         (fun ~tid ~lo ~hi -> Upskiplist.Skiplist.range sl ~tid ~lo ~hi);
@@ -339,6 +361,28 @@ let workload_e () =
         (fun ~tid ~lo ~hi -> Upskiplist.Skiplist.range_snapshot sl ~tid ~lo ~hi);
     ]
   in
+  let sweep_jobs =
+    List.map
+      (fun (name, make) () ->
+        let kv = make () in
+        Driver.preload kv ~threads:preload_threads ~n:!scale.n_initial;
+        `Sweep (name ^ " (Mops/s)", sweep kv ~spec:W.e))
+      (structure_makers ())
+  in
+  let results =
+    Sim.Pool.run ~jobs:!jobs
+      (sweep_jobs @ [ (fun () -> `Rows (range_semantics ())) ])
+  in
+  let columns =
+    List.filter_map (function `Sweep c -> Some c | `Rows _ -> None) results
+  in
+  let rows =
+    match List.filter_map (function `Rows r -> Some r | `Sweep _ -> None) results with
+    | [ r ] -> r
+    | _ -> assert false
+  in
+  Report.series ~title:"Workload E (95% scans of <=100 keys, 5% inserts)"
+    ~x_label:"threads" ~x_values:!scale.threads_sweep ~columns;
   Report.subheading "range semantics cost (100-key scans, 16 threads)";
   Report.table
     ~headers:[ "semantics"; "mean latency (us)" ]
@@ -346,49 +390,63 @@ let workload_e () =
 
 (* ---- Table 5.4: recovery time ----------------------------------------------- *)
 
-let recovery_trial ~make ~label =
-  (* preload, run a 100% insert workload, crash mid-run, then measure the
-     time until the structure can serve requests again (3 trials). *)
-  let times =
-    List.init 3 (fun i ->
-        let kv : Kv.t = make () in
-        Driver.preload kv ~threads:4 ~n:(!scale.n_initial / 2);
-        let body ~tid =
-          let base = 1_000_000 + (tid * 100_000) in
-          for k = base to base + 50_000 do
-            ignore (kv.Kv.upsert ~tid k 7)
-          done
-        in
-        (match
-           Sim.Sched.run
-             ~crash:(Sim.Sched.After_events (50_000 + (i * 13_337)))
-             ~machine:(Kv.machine kv)
-             (List.init 8 (fun tid -> (tid, body)))
-         with
-        | Sim.Sched.Crashed_at _ -> ()
-        | Sim.Sched.Completed _ -> failwith "expected crash");
-        Pmem.crash kv.Kv.pmem;
-        kv.Kv.reconnect ();
-        Harness.Crash_test.recovery_time_s kv)
+(* preload, run a 100% insert workload, crash mid-run, then measure the
+   time until the structure can serve requests again. Every trial is a
+   fresh fixture, so the whole 4-structure x 3-trial grid pools freely. *)
+let recovery_trial_once ~make i =
+  let kv : Kv.t = make () in
+  Driver.preload kv ~threads:4 ~n:(!scale.n_initial / 2);
+  let body ~tid =
+    let base = 1_000_000 + (tid * 100_000) in
+    for k = base to base + 50_000 do
+      ignore (kv.Kv.upsert ~tid k 7)
+    done
   in
-  let mean, sd = Stats.mean_std times in
-  (label, mean, sd)
+  (match
+     Sim.Sched.run
+       ~crash:(Sim.Sched.After_events (50_000 + (i * 13_337)))
+       ~machine:(Kv.machine kv)
+       (List.init 8 (fun tid -> (tid, body)))
+   with
+  | Sim.Sched.Crashed_at _ -> ()
+  | Sim.Sched.Completed _ -> failwith "expected crash");
+  Pmem.crash kv.Kv.pmem;
+  kv.Kv.reconnect ();
+  Harness.Crash_test.recovery_time_s kv
 
 let table_5_4 () =
   Report.heading "Table 5.4 — recovery time (average of 3 trials)";
-  let rows =
+  let entries =
     [
-      recovery_trial ~label:"UPSkipList (4 pools)"
-        ~make:(fun () -> Kv.make_upskiplist ~cfg:bench_cfg multi_sys);
-      recovery_trial ~label:"BzTree (500K descriptors)"
-        ~make:(fun () ->
+      ( "UPSkipList (4 pools)",
+        fun () -> Kv.make_upskiplist ~cfg:bench_cfg multi_sys );
+      ( "BzTree (500K descriptors)",
+        fun () ->
           Kv.make_bztree ~n_descriptors:500_000
-            { striped_sys with pool_words = 1 lsl 23 });
-      recovery_trial ~label:"BzTree (100K descriptors)"
-        ~make:(fun () -> Kv.make_bztree ~n_descriptors:100_000 striped_sys);
-      recovery_trial ~label:"libpmemobj lock-based list"
-        ~make:(fun () -> Kv.make_pmdk_list striped_sys);
+            { striped_sys with pool_words = 1 lsl 23 } );
+      ( "BzTree (100K descriptors)",
+        fun () -> Kv.make_bztree ~n_descriptors:100_000 striped_sys );
+      ( "libpmemobj lock-based list",
+        fun () -> Kv.make_pmdk_list striped_sys );
     ]
+  in
+  let times =
+    Sim.Pool.map ~jobs:!jobs
+      (fun (_, make, i) -> recovery_trial_once ~make i)
+      (List.concat_map
+         (fun (label, make) -> List.init 3 (fun i -> (label, make, i)))
+         entries)
+  in
+  (* regroup the flat trial list: 3 consecutive times per structure *)
+  let rows =
+    List.mapi
+      (fun k (label, _) ->
+        let ts =
+          List.filteri (fun idx _ -> idx / 3 = k) times
+        in
+        let mean, sd = Stats.mean_std ts in
+        (label, mean, sd))
+      entries
   in
   Report.table
     ~headers:[ "structure"; "recovery time (ms)"; "stddev" ]
@@ -407,7 +465,7 @@ let table_2_1 () =
      simulated latency vs structure size";
   let sizes = [ 1_000; 4_000; 16_000; 64_000 ] in
   let rows =
-    List.map
+    Sim.Pool.map ~jobs:!jobs
       (fun n ->
         let kv = Kv.make_upskiplist ~cfg:bench_cfg striped_sys in
         Driver.preload kv ~threads:4 ~n;
@@ -435,7 +493,7 @@ let chapter6 () =
        !scale.chapter6_trials);
   let sys = { multi_sys with pool_words = 1 lsl 20 } in
   let violations =
-    Harness.Crash_test.campaign
+    Harness.Crash_test.campaign ~jobs:!jobs
       ~make:(fun () -> Kv.make_upskiplist sys)
       ~threads:8 ~keyspace:200 ~ops_per_thread:120 ~crash_events:40_000
       ~seed:(seed + 77) ~trials:!scale.chapter6_trials ()
@@ -483,7 +541,7 @@ let ablation_keys_per_node () =
   Report.heading "Ablation — keys per node (multi-key nodes, Section 4.2)";
   let ks = [ 1; 4; 16; 64; 256 ] in
   let results =
-    List.map
+    Sim.Pool.map ~jobs:!jobs
       (fun k ->
         let cfg = { Upskiplist.Config.default with keys_per_node = k } in
         let kv = Kv.make_upskiplist ~cfg striped_sys in
@@ -507,7 +565,7 @@ let ablation_recovery_budget () =
     "Ablation — recoveries per traversal after a crash (Section 4.4.1)";
   let budgets = [ 0; 1; 4; 1_000_000 ] in
   let rows =
-    List.map
+    Sim.Pool.map ~jobs:!jobs
       (fun budget ->
         let cfg = { bench_cfg with recovery_budget = budget } in
         let kv = Kv.make_upskiplist ~cfg multi_sys in
@@ -554,7 +612,7 @@ let ablation_recovery_budget () =
 let ablation_arenas () =
   Report.heading "Ablation — allocator arenas per pool (Section 4.3.3)";
   let rows =
-    List.map
+    Sim.Pool.map ~jobs:!jobs
       (fun n_arenas ->
         let kv = Kv.make_upskiplist ~cfg:bench_cfg ~n_arenas striped_sys in
         let res =
@@ -572,8 +630,7 @@ let ablation_arenas () =
 let ablation_sorted_splits () =
   Report.heading
     "Ablation — sorted node splits + binary search (paper Ch. 7 follow-up)";
-  let run cfg name =
-    let kv = Kv.make_upskiplist ~cfg striped_sys in
+  let trial kv name =
     Driver.preload kv ~threads:preload_threads ~n:!scale.n_initial;
     let m, sd =
       Driver.throughput_trials kv ~spec:W.c ~threads:48
@@ -583,21 +640,19 @@ let ablation_sorted_splits () =
     in
     [ name; Printf.sprintf "%.3f ±%.2f" m sd ]
   in
-  let bz = Kv.make_bztree ~n_descriptors:120_000 striped_sys in
-  Driver.preload bz ~threads:preload_threads ~n:!scale.n_initial;
-  let bzm, bzsd =
-    Driver.throughput_trials bz ~spec:W.c ~threads:48 ~n_initial:!scale.n_initial
-      ~ops_per_thread:(max 20 (!scale.ops_at 48 / 48))
-      ~seed ~trials:!scale.trials
-  in
-  Report.table
-    ~headers:[ "configuration"; "C Mops/s (48 thr)" ]
-    ~rows:
+  let run cfg name () = trial (Kv.make_upskiplist ~cfg striped_sys) name in
+  let rows =
+    Sim.Pool.run ~jobs:!jobs
       [
         run { bench_cfg with sorted_splits = false } "unsorted nodes (paper)";
         run { bench_cfg with sorted_splits = true } "sorted splits + binary search";
-        [ "BzTree (sorted leaves)"; Printf.sprintf "%.3f ±%.2f" bzm bzsd ];
-      ];
+        (fun () ->
+          trial
+            (Kv.make_bztree ~n_descriptors:120_000 striped_sys)
+            "BzTree (sorted leaves)");
+      ]
+  in
+  Report.table ~headers:[ "configuration"; "C Mops/s (48 thr)" ] ~rows;
   Fmt.pr
     "@.(the paper attributes BzTree's read-only win to its sorted leaves and      proposes exactly this optimisation)@."
 
@@ -656,7 +711,7 @@ let ablation_reclamation () =
         "blocks back in the free lists";
         "chunks";
       ]
-    ~rows:[ run false; run true ];
+    ~rows:(Sim.Pool.map ~jobs:!jobs run [ false; true ]);
   Fmt.pr
     "@.(with tombstones every node survives its own deletion; physical \
      removal returns the memory - the reclamation the paper calls out as \
@@ -756,7 +811,7 @@ let svc_scaling () =
     }
   in
   let rows =
-    List.map
+    Sim.Pool.map ~jobs:!jobs
       (fun shards ->
         let r = Svc.Service.run (cfg shards) in
         let m = Svc.Slo.summarize r.Svc.Slo.merged in
@@ -792,26 +847,30 @@ let svc_scaling () =
    still exercising the full preload → driver → report → --json path. *)
 let smoke () =
   Report.heading "Smoke — UPSkipList, workloads A and C (tiny CI figure)";
-  let kv = Kv.make_upskiplist ~cfg:bench_cfg striped_sys in
   let n = 2_000 in
-  Driver.preload kv ~threads:4 ~n;
   let threads_sweep = [ 1; 8 ] in
+  (* one kv per workload so even the smoke figure exercises the pool (and
+     the -j determinism check actually spawns domains in CI) *)
+  let per_workload =
+    Sim.Pool.map ~jobs:!jobs
+      (fun spec ->
+        let kv = Kv.make_upskiplist ~cfg:bench_cfg striped_sys in
+        Driver.preload kv ~threads:4 ~n;
+        ( spec,
+          List.map
+            (fun threads ->
+              Driver.throughput_trials kv ~spec ~threads ~n_initial:n
+                ~ops_per_thread:200 ~seed ~trials:1)
+            threads_sweep ))
+      [ W.a; W.c ]
+  in
   List.iter
-    (fun spec ->
-      let columns =
-        [
-          ( "UPSkipList (Mops/s)",
-            List.map
-              (fun threads ->
-                Driver.throughput_trials kv ~spec ~threads ~n_initial:n
-                  ~ops_per_thread:200 ~seed ~trials:1)
-              threads_sweep );
-        ]
-      in
+    (fun ((spec : W.spec), series) ->
       Report.series
         ~title:(Printf.sprintf "Workload %s (smoke scale)" spec.W.label)
-        ~x_label:"threads" ~x_values:threads_sweep ~columns)
-    [ W.a; W.c ]
+        ~x_label:"threads" ~x_values:threads_sweep
+        ~columns:[ ("UPSkipList (Mops/s)", series) ])
+    per_workload
 
 (* ---- observability artifacts (--trace / --metrics-json) ------------------------ *)
 
@@ -861,7 +920,7 @@ let obs_artifacts ~trace_path ~metrics_path () =
       draws = 1;
     }
   in
-  let s = Fault.run_campaign campaign in
+  let s = Fault.run_campaign ~jobs:!jobs campaign in
   Fault.print_summary ~name:"observability crash-recovery digest" s;
   let after = Obs.totals () in
   let delta = Array.init Obs.n_ids (fun id -> after.(id) - before.(id)) in
@@ -937,6 +996,13 @@ let () =
     | "--full" :: rest ->
         scale := full;
         parse acc rest
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse acc rest
+        | _ -> failwith "-j requires a positive integer")
+    | [ ("-j" | "--jobs") ] -> failwith "-j requires a positive integer"
     | "--json" :: path :: rest ->
         json_path := Some path;
         parse acc rest

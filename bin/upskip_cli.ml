@@ -183,13 +183,13 @@ let trace_term =
 
 (* ---- crash-test -------------------------------------------------------------- *)
 
-let crash_cmd structure mode trials threads seed descriptors =
+let crash_cmd structure mode trials threads seed descriptors jobs =
   let make () = make_kv structure mode descriptors in
   Fmt.pr "running %d crash trials on %s with strict-linearizability analysis...@."
     trials (make ()).Kv.name;
   let violations =
-    Harness.Crash_test.campaign ~make ~threads ~keyspace:300 ~ops_per_thread:150
-      ~crash_events:40_000 ~seed ~trials ()
+    Harness.Crash_test.campaign ~jobs ~make ~threads ~keyspace:300
+      ~ops_per_thread:150 ~crash_events:40_000 ~seed ~trials ()
   in
   (match violations with
   | [] -> Fmt.pr "all %d trials strictly linearizable.@." trials
@@ -203,10 +203,19 @@ let crash_cmd structure mode trials threads seed descriptors =
 let crash_trials_t =
   Arg.(value & opt int 5 & info [ "trials" ] ~doc:"Number of crash trials.")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt int (Sim.Pool.default_jobs ())
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for independent trials (1 = sequential). Results \
+           are identical for any value.")
+
 let crash_term =
   Term.(
     const crash_cmd $ structure_t $ mode_t $ crash_trials_t $ threads_t $ seed_t
-    $ descriptors_t)
+    $ descriptors_t $ jobs_t)
 
 (* ---- crash-sweep ------------------------------------------------------------- *)
 
@@ -323,7 +332,7 @@ let report_failures ~shrink failures =
     failures
 
 let sweep_cmd structure mode latency threads keyspace ops rounds depth evict
-    draws origin stride points jitter seed mutant shrink =
+    draws origin stride points jitter seed mutant shrink jobs =
   match
     base_spec structure mode latency threads keyspace ops rounds depth evict seed
       mutant
@@ -337,7 +346,7 @@ let sweep_cmd structure mode latency threads keyspace ops rounds depth evict
       in
       Fmt.pr "adversarial crash sweep on %s: %d points x %d draws, depth %d@."
         base.Fault.structure points draws depth;
-      let s = Fault.run_campaign campaign in
+      let s = Fault.run_campaign ~jobs campaign in
       Fault.print_summary ~name:base.Fault.structure s;
       report_failures ~shrink s.Fault.failures;
       if s.Fault.failures = [] then 0 else 1
@@ -346,7 +355,7 @@ let sweep_term =
   Term.(
     const sweep_cmd $ structure_t $ mode_t $ latency_t $ threads_t $ keyspace_t
     $ sweep_ops_t $ rounds_t $ depth_t $ evict_t $ draws_t $ origin_t $ stride_t
-    $ points_t $ jitter_t $ seed_t $ mutant_t $ shrink_t)
+    $ points_t $ jitter_t $ seed_t $ mutant_t $ shrink_t $ jobs_t)
 
 (* ---- crash-replay ------------------------------------------------------------- *)
 

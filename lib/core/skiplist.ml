@@ -87,7 +87,7 @@ let create ~mem ~cfg ~max_threads ~seed =
    tracing, drop an instant event at the current virtual time. *)
 let obs_event ~tid id arg =
   Obs.bump ~tid id;
-  if !Obs.Trace.enabled then
+  if Obs.Trace.enabled () then
     Obs.Trace.emit ~ts:(Sim.Sched.now ()) ~tid ~kind:id ~arg ~farg:0.0
 
 let random_height t ~tid =

@@ -72,20 +72,26 @@ let run ?(read_fraction = 0.2) ?(audit = true) ~make ~threads ~keyspace
 (* Run [trials] independent crash trials and check each; returns the list
    of violations found (empty = strictly linearizable in every trial).
    Persistent-heap audit failures are folded in as violations on key 0. *)
-let campaign ?(read_fraction = 0.2) ?(audit = true) ~make ~threads ~keyspace
-    ~ops_per_thread ~crash_events ~seed ~trials () =
+let campaign ?(jobs = 1) ?(read_fraction = 0.2) ?(audit = true) ~make ~threads
+    ~keyspace ~ops_per_thread ~crash_events ~seed ~trials () =
+  (* Each trial (run + history check) is one self-contained pool job;
+     aggregation walks the results in trial order, reproducing the
+     sequential loop's violation list exactly for any [jobs]. *)
+  let checked =
+    Sim.Pool.map ~jobs
+      (fun i ->
+        let t =
+          run ~read_fraction ~audit ~make ~threads ~keyspace ~ops_per_thread
+            ~crash_events ~seed:(seed + (7919 * i)) ()
+        in
+        Lincheck.Checker.check t.history
+        @ List.map
+            (fun e -> { Lincheck.Checker.key = 0; message = "audit: " ^ e })
+            t.audit_errors)
+      (List.init trials (fun i -> i))
+  in
   let all = ref [] in
-  for i = 0 to trials - 1 do
-    let t =
-      run ~read_fraction ~audit ~make ~threads ~keyspace ~ops_per_thread
-        ~crash_events ~seed:(seed + (7919 * i)) ()
-    in
-    let violations =
-      Lincheck.Checker.check t.history
-      @ List.map
-          (fun e -> { Lincheck.Checker.key = 0; message = "audit: " ^ e })
-          t.audit_errors
-    in
-    all := List.map (fun v -> (i, v)) violations @ !all
-  done;
+  List.iteri
+    (fun i violations -> all := List.map (fun v -> (i, v)) violations @ !all)
+    checked;
   List.rev !all

@@ -42,6 +42,7 @@ val run :
     [~audit:false]), recorded re-touch of every key. *)
 
 val campaign :
+  ?jobs:int ->
   ?read_fraction:float ->
   ?audit:bool ->
   make:(unit -> Kv.t) ->
@@ -55,4 +56,5 @@ val campaign :
   (int * Lincheck.Checker.violation) list
 (** Run [trials] independent trials and check each history; empty result =
     every trial strictly linearizable and audit-clean (audit failures are
-    reported as violations on key 0). *)
+    reported as violations on key 0). [?jobs] (default 1) distributes
+    trials over a {!Sim.Pool}; the result is identical for any [jobs]. *)

@@ -86,7 +86,7 @@ let run_workload (kv : Kv.t) ~spec ~threads ~n_initial ~ops_per_thread ~seed =
         in
         Obs.read_row ~tid ~into:before;
         let t0 = Sim.Sched.now () in
-        if !Obs.Trace.enabled then
+        if Obs.Trace.enabled () then
           Obs.Trace.emit ~ts:t0 ~tid ~kind:Obs.Trace.k_op_begin ~arg:code
             ~farg:0.0;
         (match op with
@@ -98,7 +98,7 @@ let run_workload (kv : Kv.t) ~spec ~threads ~n_initial ~ops_per_thread ~seed =
         | Ycsb.Workload.Scan (k, len) ->
             ignore (kv.Kv.range ~tid ~lo:k ~hi:(k + len)));
         let t1 = Sim.Sched.now () in
-        if !Obs.Trace.enabled then
+        if Obs.Trace.enabled () then
           Obs.Trace.emit ~ts:t1 ~tid ~kind:Obs.Trace.k_op_end ~arg:code
             ~farg:0.0;
         let dt = t1 -. t0 in

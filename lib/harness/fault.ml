@@ -446,7 +446,7 @@ type summary = {
   failures : (spec * result) list;  (* newest last *)
 }
 
-let run_campaign ?make ?mutant (c : campaign) =
+let run_campaign ?(jobs = 1) ?make ?mutant (c : campaign) =
   let make =
     match make with
     | Some m -> Ok m
@@ -454,6 +454,23 @@ let run_campaign ?make ?mutant (c : campaign) =
   in
   let make = match make with Ok m -> m | Error e -> invalid_arg ("Fault.run_campaign: " ^ e) in
   let points = grid_points ~seed:c.base.seed c.grid in
+  (* Every trial is a self-contained job on a fresh fixture; the spec list
+     fixes the order, so pooled execution aggregates the exact sequence the
+     nested loop always produced. *)
+  let specs =
+    List.concat
+      (List.mapi
+         (fun i point ->
+           List.init c.draws (fun j ->
+               { c.base with
+                 crash_at = point;
+                 draw_seed = c.base.draw_seed + (97 * i) + (1009 * j);
+               }))
+         points)
+  in
+  let results =
+    Sim.Pool.map ~jobs (fun spec -> (spec, run_trial ?mutant ~make spec)) specs
+  in
   let trials = ref 0
   and crashed = ref 0
   and total_crashes = ref 0
@@ -463,26 +480,20 @@ let run_campaign ?make ?mutant (c : campaign) =
   and repairs = ref 0 in
   let recovery_ns = ref [] in
   let failures = ref [] in
-  List.iteri
-    (fun i point ->
-      for j = 0 to c.draws - 1 do
-        let spec =
-          { c.base with crash_at = point; draw_seed = c.base.draw_seed + (97 * i) + (1009 * j) }
-        in
-        let res = run_trial ?mutant ~make spec in
-        incr trials;
-        if res.crashes > 0 then begin
-          incr crashed;
-          recovery_ns := res.recovery_ns :: !recovery_ns
-        end;
-        total_crashes := !total_crashes + res.crashes;
-        audit_passes := !audit_passes + res.audits;
-        repairs := !repairs + res.repairs;
-        if res.audit_errors <> [] then incr audit_failures;
-        if res.violations <> [] then incr violation_trials;
-        if failed res then failures := (spec, res) :: !failures
-      done)
-    points;
+  List.iter
+    (fun (spec, res) ->
+      incr trials;
+      if res.crashes > 0 then begin
+        incr crashed;
+        recovery_ns := res.recovery_ns :: !recovery_ns
+      end;
+      total_crashes := !total_crashes + res.crashes;
+      audit_passes := !audit_passes + res.audits;
+      repairs := !repairs + res.repairs;
+      if res.audit_errors <> [] then incr audit_failures;
+      if res.violations <> [] then incr violation_trials;
+      if failed res then failures := (spec, res) :: !failures)
+    results;
   {
     trials = !trials;
     crashed_trials = !crashed;

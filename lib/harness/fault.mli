@@ -127,10 +127,14 @@ type summary = {
   failures : (spec * result) list;
 }
 
-val run_campaign : ?make:(unit -> Kv.t) -> ?mutant:(Kv.t -> bool) -> campaign -> summary
+val run_campaign :
+  ?jobs:int -> ?make:(unit -> Kv.t) -> ?mutant:(Kv.t -> bool) -> campaign -> summary
 (** [grid.points * draws] trials. [?make] overrides {!kv_of_spec} on the
     base spec (raises [Invalid_argument] if absent and the base spec names
-    an unknown fixture). *)
+    an unknown fixture). [?jobs] (default 1) runs trials on a
+    {!Sim.Pool} of that many domains; every trial is a self-contained
+    deterministic run, and the summary aggregates results in spec order,
+    so the summary is identical for any [jobs]. *)
 
 val print_summary : name:string -> summary -> unit
 

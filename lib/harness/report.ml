@@ -17,17 +17,23 @@ type sample = {
   sd : float;
 }
 
-let captured : sample list ref = ref []  (* newest first *)
-let current_figure = ref ""
+(* Capture state is domain-local so pool workers can never race the main
+   domain's sample list; figures print (and therefore capture) only after
+   collecting their jobs, so all samples land on the calling domain. *)
+type capture = { mutable captured : sample list (* newest first *); mutable current_figure : string }
 
-let samples () = List.rev !captured
-let sample_count () = List.length !captured
+let capture_key : capture Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { captured = []; current_figure = "" })
+
+let samples () = List.rev (Domain.DLS.get capture_key).captured
+let sample_count () = List.length (Domain.DLS.get capture_key).captured
 let reset_samples () =
-  captured := [];
-  current_figure := ""
+  let c = Domain.DLS.get capture_key in
+  c.captured <- [];
+  c.current_figure <- ""
 
 let heading title =
-  current_figure := title;
+  (Domain.DLS.get capture_key).current_figure <- title;
   let line = String.make (String.length title) '=' in
   Fmt.pr "@.%s@.%s@." title line
 
@@ -58,13 +64,14 @@ let f3 x = Printf.sprintf "%.3f" x
 
 (* A throughput series: one row per thread count, one column per system. *)
 let series ~title ~x_label ~x_values ~columns =
+  let c = Domain.DLS.get capture_key in
   List.iter
     (fun (column, ys) ->
       List.iter2
         (fun x (mean, sd) ->
-          captured :=
-            { figure = !current_figure; series = title; column; x; mean; sd }
-            :: !captured)
+          c.captured <-
+            { figure = c.current_figure; series = title; column; x; mean; sd }
+            :: c.captured)
         x_values ys)
     columns;
   subheading title;

@@ -46,7 +46,7 @@ let log_obj ~tid = Mem.riv_of_root ~pool:0 ~word:(Mem.logs_start + (tid * Mem.lo
    at the current virtual time when tracing is on. *)
 let obs_event ~tid id arg =
   Obs.bump ~tid id;
-  if !Obs.Trace.enabled then
+  if Obs.Trace.enabled () then
     Obs.Trace.emit ~ts:(Sim.Sched.now ()) ~tid ~kind:id ~arg ~farg:0.0
 
 (* ---- Function 6: LinkInTail ------------------------------------------- *)

@@ -5,7 +5,15 @@
    simulated state — so enabling/disabling observability cannot change
    simulated results. All event timestamps are virtual ns supplied by the
    caller, which is what makes exported traces byte-identical for a fixed
-   seed. *)
+   seed.
+
+   All mutable state here is domain-local (Domain.DLS): each OCaml domain
+   owns its own counter rows and trace ring, so independent simulations can
+   run on parallel domains (Sim.Pool) without sharing — or racing on — any
+   observability state. A pool worker accumulates counters into its own
+   domain's rows; the pool merges per-job deltas back into the caller's
+   domain in job order, so totals match a sequential run exactly
+   ({!snapshot} / {!add_delta}). *)
 
 (* ---- counter ids --------------------------------------------------------- *)
 
@@ -61,9 +69,13 @@ let id_name id =
 
 (* ---- per-fiber counter rows ---------------------------------------------- *)
 
-let rows : int array array ref = ref [||]
+(* One rows table per domain. The ref cell is created once per domain, so
+   the hot path pays one DLS lookup plus the former ref dereference. *)
+let rows_key : int array array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
 
 let row_for tid =
+  let rows = Domain.DLS.get rows_key in
   let r = !rows in
   let n = Array.length r in
   if tid < n then Array.unsafe_get r tid
@@ -82,13 +94,17 @@ let bump ~tid id =
   let row = row_for tid in
   Array.unsafe_set row id (Array.unsafe_get row id + 1)
 
-let counter ~tid id = if tid < Array.length !rows then !rows.(tid).(id) else 0
+let counter ~tid id =
+  let r = !(Domain.DLS.get rows_key) in
+  if tid < Array.length r then r.(tid).(id) else 0
 
 let read_row ~tid ~into =
-  if tid < Array.length !rows then Array.blit !rows.(tid) 0 into 0 n_ids
+  let r = !(Domain.DLS.get rows_key) in
+  if tid < Array.length r then Array.blit r.(tid) 0 into 0 n_ids
   else Array.fill into 0 n_ids 0
 
-let total id = Array.fold_left (fun acc row -> acc + row.(id)) 0 !rows
+let total id =
+  Array.fold_left (fun acc row -> acc + row.(id)) 0 !(Domain.DLS.get rows_key)
 
 let totals () =
   let t = Array.make n_ids 0 in
@@ -97,15 +113,36 @@ let totals () =
       for id = 0 to n_ids - 1 do
         t.(id) <- t.(id) + row.(id)
       done)
-    !rows;
+    !(Domain.DLS.get rows_key)
+  ;
   t
 
-let reset () = Array.iter (fun row -> Array.fill row 0 n_ids 0) !rows
+let reset () =
+  Array.iter (fun row -> Array.fill row 0 n_ids 0) !(Domain.DLS.get rows_key)
+
+(* ---- cross-domain merging (Sim.Pool) ------------------------------------- *)
+
+let snapshot () = Array.map Array.copy !(Domain.DLS.get rows_key)
+
+let add_delta ~before ~after =
+  Array.iteri
+    (fun tid row_after ->
+      let row_before = if tid < Array.length before then before.(tid) else [||] in
+      let has_before = Array.length row_before = n_ids in
+      for id = 0 to n_ids - 1 do
+        let d =
+          row_after.(id) - (if has_before then row_before.(id) else 0)
+        in
+        if d <> 0 then begin
+          let row = row_for tid in
+          row.(id) <- row.(id) + d
+        end
+      done)
+    after
 
 (* ---- event trace --------------------------------------------------------- *)
 
 module Trace = struct
-  let enabled = ref false
   let k_resume = n_ids
   let k_park = n_ids + 1
   let k_fiber_done = n_ids + 2
@@ -113,53 +150,80 @@ module Trace = struct
   let k_op_begin = n_ids + 4
   let k_op_end = n_ids + 5
 
-  (* ring storage: parallel flat arrays, drop-oldest on overflow *)
-  let cap = ref 0
-  let ts_buf = ref [||]
-  let tid_buf = ref [||]
-  let kind_buf = ref [||]
-  let arg_buf = ref [||]
-  let farg_buf = ref [||]
-  let total_emitted = ref 0
+  (* ring storage: parallel flat arrays, drop-oldest on overflow; one ring
+     per domain, like the counter rows *)
+  type state = {
+    mutable on : bool;
+    mutable cap : int;
+    mutable ts_buf : float array;
+    mutable tid_buf : int array;
+    mutable kind_buf : int array;
+    mutable arg_buf : int array;
+    mutable farg_buf : float array;
+    mutable total_emitted : int;
+  }
+
+  let state_key : state Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        {
+          on = false;
+          cap = 0;
+          ts_buf = [||];
+          tid_buf = [||];
+          kind_buf = [||];
+          arg_buf = [||];
+          farg_buf = [||];
+          total_emitted = 0;
+        })
+
+  let enabled () = (Domain.DLS.get state_key).on
 
   let clear () =
-    total_emitted := 0;
-    if !cap > 0 then Array.fill !ts_buf 0 !cap 0.0
+    let s = Domain.DLS.get state_key in
+    s.total_emitted <- 0;
+    if s.cap > 0 then Array.fill s.ts_buf 0 s.cap 0.0
 
   let start ?(capacity = 65536) () =
+    let s = Domain.DLS.get state_key in
     let capacity = max 1 capacity in
-    if capacity <> !cap then begin
-      cap := capacity;
-      ts_buf := Array.make capacity 0.0;
-      tid_buf := Array.make capacity 0;
-      kind_buf := Array.make capacity 0;
-      arg_buf := Array.make capacity 0;
-      farg_buf := Array.make capacity 0.0
+    if capacity <> s.cap then begin
+      s.cap <- capacity;
+      s.ts_buf <- Array.make capacity 0.0;
+      s.tid_buf <- Array.make capacity 0;
+      s.kind_buf <- Array.make capacity 0;
+      s.arg_buf <- Array.make capacity 0;
+      s.farg_buf <- Array.make capacity 0.0
     end;
-    total_emitted := 0;
-    enabled := true
+    s.total_emitted <- 0;
+    s.on <- true
 
-  let stop () = enabled := false
+  let stop () = (Domain.DLS.get state_key).on <- false
 
   let emit ~ts ~tid ~kind ~arg ~farg =
-    let c = !cap in
+    let s = Domain.DLS.get state_key in
+    let c = s.cap in
     if c > 0 then begin
-      let i = !total_emitted mod c in
-      Array.unsafe_set !ts_buf i ts;
-      Array.unsafe_set !tid_buf i tid;
-      Array.unsafe_set !kind_buf i kind;
-      Array.unsafe_set !arg_buf i arg;
-      Array.unsafe_set !farg_buf i farg;
-      incr total_emitted
+      let i = s.total_emitted mod c in
+      Array.unsafe_set s.ts_buf i ts;
+      Array.unsafe_set s.tid_buf i tid;
+      Array.unsafe_set s.kind_buf i kind;
+      Array.unsafe_set s.arg_buf i arg;
+      Array.unsafe_set s.farg_buf i farg;
+      s.total_emitted <- s.total_emitted + 1
     end
 
-  let recorded () = min !total_emitted !cap
-  let dropped () = max 0 (!total_emitted - !cap)
+  let recorded () =
+    let s = Domain.DLS.get state_key in
+    min s.total_emitted s.cap
+
+  let dropped () =
+    let s = Domain.DLS.get state_key in
+    max 0 (s.total_emitted - s.cap)
 
   (* index of the i-th oldest retained event, i in [0, recorded) *)
-  let slot i =
-    let c = !cap in
-    if !total_emitted <= c then i else (!total_emitted + i) mod c
+  let slot s i =
+    let c = s.cap in
+    if s.total_emitted <= c then i else (s.total_emitted + i) mod c
 
   let kind_label = function
     | k when k = id_flush -> "flush"
@@ -198,6 +262,7 @@ module Trace = struct
   let us buf v = Buffer.add_string buf (Printf.sprintf "%.6f" (v /. 1000.0))
 
   let to_chrome_string () =
+    let s = Domain.DLS.get state_key in
     let n = recorded () in
     let buf = Buffer.create (256 + (n * 96)) in
     Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
@@ -208,12 +273,12 @@ module Trace = struct
     (* one named track per fiber, in tid order *)
     let max_tid = ref (-1) in
     for i = 0 to n - 1 do
-      let tid = !tid_buf.(slot i) in
+      let tid = s.tid_buf.(slot s i) in
       if tid > !max_tid then max_tid := tid
     done;
     let seen = Array.make (!max_tid + 2) false in
     for i = 0 to n - 1 do
-      seen.(!tid_buf.(slot i)) <- true
+      seen.(s.tid_buf.(slot s i)) <- true
     done;
     Array.iteri
       (fun tid present ->
@@ -230,12 +295,12 @@ module Trace = struct
     let open_ts = Array.make (!max_tid + 2) nan in
     let open_op = Array.make (!max_tid + 2) 0 in
     for i = 0 to n - 1 do
-      let s = slot i in
-      let ts = !ts_buf.(s)
-      and tid = !tid_buf.(s)
-      and kind = !kind_buf.(s)
-      and arg = !arg_buf.(s)
-      and farg = !farg_buf.(s) in
+      let sl = slot s i in
+      let ts = s.ts_buf.(sl)
+      and tid = s.tid_buf.(sl)
+      and kind = s.kind_buf.(sl)
+      and arg = s.arg_buf.(sl)
+      and farg = s.farg_buf.(sl) in
       if kind = k_op_begin then begin
         open_ts.(tid) <- ts;
         open_op.(tid) <- arg

@@ -4,10 +4,16 @@
 
     The counter registry is always on (plain host-side integer bumps that
     never touch simulated state, so simulated results are unaffected);
-    tracing is off by default and costs one [bool ref] load per potential
+    tracing is off by default and costs one domain-local load per potential
     event while disabled. Everything here is driven exclusively by virtual
     time and seeded randomness, so counter values and exported traces are
-    byte-identical across runs with the same seed. *)
+    byte-identical across runs with the same seed.
+
+    All state is domain-local: each OCaml domain has its own counter rows
+    and trace ring, so parallel simulations ({!Sim.Pool}) never share
+    observability state. {!snapshot} and {!add_delta} let a pool merge a
+    worker domain's per-job counter deltas back into the caller's domain in
+    job order, keeping totals identical to a sequential run. *)
 
 (** {1 Counter ids}
 
@@ -85,18 +91,34 @@ val totals : unit -> int array
 (** Fresh id-indexed array of totals over every fiber. *)
 
 val reset : unit -> unit
-(** Zero every counter of every fiber. *)
+(** Zero every counter of every fiber (in the calling domain). *)
+
+(** {1 Cross-domain merging}
+
+    Used by [Sim.Pool] to keep counters byte-identical between sequential
+    and parallel execution: a worker snapshots its rows around each job and
+    the caller adds the per-job deltas, in job order, into its own rows. *)
+
+val snapshot : unit -> int array array
+(** Deep copy of the calling domain's per-fiber rows. *)
+
+val add_delta : before:int array array -> after:int array array -> unit
+(** Add the per-counter difference [after - before] (two {!snapshot}
+    results, [before] possibly with fewer rows) into the calling domain's
+    rows. *)
 
 (** {1 Event trace} *)
 
 module Trace : sig
   (** Ring buffer of (virtual-time, fiber, kind, payload) events. Callers
-      guard emission with [if !enabled then emit ...] so a disabled trace
-      costs one ref load. When the ring fills, the oldest events are
-      overwritten and counted in {!dropped}. *)
+      guard emission with [if enabled () then emit ...] so a disabled trace
+      costs one domain-local load. When the ring fills, the oldest events
+      are overwritten and counted in {!dropped}. The ring is per-domain:
+      a trace records only events emitted on the domain that started it. *)
 
-  val enabled : bool ref
-  (** Whether events are being recorded. Use {!start} / {!stop}. *)
+  val enabled : unit -> bool
+  (** Whether events are being recorded on this domain. Use {!start} /
+      {!stop}. *)
 
   (** {2 Event kinds}
 

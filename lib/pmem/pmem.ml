@@ -308,7 +308,7 @@ let cas t ~tid a expected desired =
   in
   Obs.bump ~tid Obs.id_pmem_cas;
   if not ok then Obs.bump ~tid Obs.id_pmem_cas_fail;
-  if !Obs.Trace.enabled then
+  if Obs.Trace.enabled () then
     Obs.Trace.emit
       ~ts:(Array.unsafe_get t.now_cell 0)
       ~tid
@@ -339,7 +339,7 @@ let flush t ~tid a =
   end;
   Obs.bump ~tid Obs.id_flush;
   if dirty then Obs.bump ~tid Obs.id_dirty_flush;
-  if !Obs.Trace.enabled then
+  if Obs.Trace.enabled () then
     Obs.Trace.emit
       ~ts:(Array.unsafe_get t.now_cell 0)
       ~tid
@@ -352,7 +352,7 @@ let fence t ~tid =
   t.counters.fences <- t.counters.fences + 1;
   put_jittered t t.config.latency.fence_ns;
   Obs.bump ~tid Obs.id_fence;
-  if !Obs.Trace.enabled then
+  if Obs.Trace.enabled () then
     Obs.Trace.emit
       ~ts:(Array.unsafe_get t.now_cell 0)
       ~tid ~kind:Obs.id_fence ~arg:0

@@ -218,9 +218,11 @@ end
 
 type crash_point = No_crash | After_events of int | At_time of float
 
-(* State of the run in progress. A module-level slot (set for the duration
-   of [run], single-threaded host) lets the primitive wrappers below run
-   inline instead of performing an effect per call. *)
+(* State of the run in progress. A domain-local slot (set for the duration
+   of [run]) lets the primitive wrappers below run inline instead of
+   performing an effect per call. Domain-local rather than a module-level
+   ref so independent [run]s can execute concurrently on parallel domains
+   (see Pool); within one domain runs still nest (save/restore). *)
 type run_state = {
   machine : machine;
   clock : float array;  (* == machine.clock *)
@@ -237,7 +239,8 @@ type run_state = {
   mutable finished : int;
 }
 
-let current : run_state option ref = ref None
+let current_key : run_state option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 (* Cell accesses below use the unchecked primitives: [run] validates that
    both machine cells have an index 0 before anything touches them, and
@@ -279,7 +282,7 @@ let inline_settle st =
    perform raises [Effect.Unhandled], as before). *)
 
 let read a =
-  match !current with
+  match Domain.DLS.get current_key with
   | Some st when st.fast_path ->
       let v = st.machine.read ~tid:st.current_tid a in
       inline_settle st;
@@ -287,14 +290,14 @@ let read a =
   | _ -> Effect.perform (Read a)
 
 let write a v =
-  match !current with
+  match Domain.DLS.get current_key with
   | Some st when st.fast_path ->
       st.machine.write ~tid:st.current_tid a v;
       inline_settle st
   | _ -> Effect.perform (Write (a, v))
 
 let cas a ~expected ~desired =
-  match !current with
+  match Domain.DLS.get current_key with
   | Some st when st.fast_path ->
       let ok = st.machine.cas ~tid:st.current_tid a expected desired in
       inline_settle st;
@@ -302,21 +305,21 @@ let cas a ~expected ~desired =
   | _ -> Effect.perform (Cas (a, expected, desired))
 
 let flush a =
-  match !current with
+  match Domain.DLS.get current_key with
   | Some st when st.fast_path ->
       st.machine.flush ~tid:st.current_tid a;
       inline_settle st
   | _ -> Effect.perform (Flush a)
 
 let fence () =
-  match !current with
+  match Domain.DLS.get current_key with
   | Some st when st.fast_path ->
       st.machine.fence ~tid:st.current_tid;
       inline_settle st
   | _ -> Effect.perform Fence
 
 let charge ns =
-  match !current with
+  match Domain.DLS.get current_key with
   | Some st when st.fast_path ->
       Array.unsafe_set st.latency 0 ns;
       inline_settle st
@@ -326,12 +329,12 @@ let charge ns =
    whenever a run is active (either path — the handler would return exactly
    these values). *)
 let now () =
-  match !current with
+  match Domain.DLS.get current_key with
   | Some st -> Array.unsafe_get st.clock 0
   | None -> Effect.perform Now
 
 let self () =
-  match !current with
+  match Domain.DLS.get current_key with
   | Some st -> st.current_tid
   | None -> Effect.perform Self
 
@@ -367,7 +370,7 @@ let run ?(crash = No_crash) ?(fast_path = true) ~(machine : machine) bodies =
   st.clock.(0) <- 0.0;
   let park time tid w =
     (* [tid <= max_tid] for every caller, so the bounds check is elided *)
-    if !Obs.Trace.enabled then
+    if Obs.Trace.enabled () then
       Obs.Trace.emit
         ~ts:(Array.unsafe_get st.clock 0)
         ~tid ~kind:Obs.Trace.k_park ~arg:0 ~farg:time;
@@ -448,7 +451,7 @@ let run ?(crash = No_crash) ?(fast_path = true) ~(machine : machine) bodies =
         {
           retc =
             (fun () ->
-              if !Obs.Trace.enabled then
+              if Obs.Trace.enabled () then
                 Obs.Trace.emit
                   ~ts:(Array.unsafe_get st.clock 0)
                   ~tid ~kind:Obs.Trace.k_fiber_done ~arg:0 ~farg:0.0;
@@ -457,7 +460,7 @@ let run ?(crash = No_crash) ?(fast_path = true) ~(machine : machine) bodies =
             (fun e ->
               match e with
               | Crashed ->
-                  if !Obs.Trace.enabled then
+                  if Obs.Trace.enabled () then
                     Obs.Trace.emit
                       ~ts:(Array.unsafe_get st.clock 0)
                       ~tid ~kind:Obs.Trace.k_fiber_crash ~arg:0 ~farg:0.0;
@@ -492,7 +495,7 @@ let run ?(crash = No_crash) ?(fast_path = true) ~(machine : machine) bodies =
         end
         else begin
           st.current_tid <- tid;
-          if !Obs.Trace.enabled then
+          if Obs.Trace.enabled () then
             Obs.Trace.emit ~ts:time ~tid ~kind:Obs.Trace.k_resume ~arg:0
               ~farg:0.0;
           resume_waiter w;
@@ -501,10 +504,10 @@ let run ?(crash = No_crash) ?(fast_path = true) ~(machine : machine) bodies =
       end
     end
   in
-  let saved = !current in
-  current := Some st;
+  let saved = Domain.DLS.get current_key in
+  Domain.DLS.set current_key (Some st);
   Fun.protect
-    ~finally:(fun () -> current := saved)
+    ~finally:(fun () -> Domain.DLS.set current_key saved)
     (fun () ->
       List.iter launch bodies;
       loop ();

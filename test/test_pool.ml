@@ -1,0 +1,198 @@
+(* Sim.Pool: parallel execution of independent simulations must be
+   indistinguishable from sequential execution — same results (floats
+   compared exactly), same observability totals, same exception — for any
+   job count, across repeated runs. This is the determinism contract the
+   bench harness's -j flag relies on. *)
+
+open Testsupport
+module Kv = Harness.Kv
+module Driver = Harness.Driver
+module Fault = Harness.Fault
+module W = Ycsb.Workload
+
+let fast_sys =
+  {
+    Kv.default_sys with
+    latency = Pmem.Latency.uniform;
+    pool_words = 1 lsl 20;
+    max_threads = 16;
+  }
+
+(* One self-contained job: fresh structure, preload, throughput trial.
+   Returns exact floats, so equality below is byte-level. *)
+let trial_job seed () =
+  let kv = Kv.make_upskiplist fast_sys in
+  Driver.preload kv ~threads:4 ~n:500;
+  Driver.throughput_trials kv ~spec:W.a ~threads:4 ~n_initial:500
+    ~ops_per_thread:60 ~seed ~trials:2
+
+let trial_jobs () = List.init 6 (fun i -> trial_job (1000 + (37 * i)))
+
+let check_trials msg expected actual =
+  Alcotest.(check (list (pair (float 0.0) (float 0.0)))) msg expected actual
+
+let test_parallel_matches_sequential () =
+  let seq = Sim.Pool.run ~jobs:1 (trial_jobs ()) in
+  let par = Sim.Pool.run ~jobs:4 (trial_jobs ()) in
+  check_trials "throughput trials identical for -j1 and -j4" seq par
+
+let test_repeated_parallel_runs_identical () =
+  let a = Sim.Pool.run ~jobs:4 (trial_jobs ()) in
+  let b = Sim.Pool.run ~jobs:4 (trial_jobs ()) in
+  check_trials "two -j4 runs identical" a b
+
+let test_map_preserves_order () =
+  let xs = List.init 20 (fun i -> i) in
+  let ys = Sim.Pool.map ~jobs:4 (fun i -> i * i) xs in
+  Alcotest.(check (list int)) "results in input order"
+    (List.map (fun i -> i * i) xs)
+    ys
+
+(* ---- observability parity ------------------------------------------------ *)
+
+let test_obs_totals_parity () =
+  Obs.reset ();
+  ignore (Sim.Pool.run ~jobs:1 (trial_jobs ()));
+  let seq_totals = Obs.totals () in
+  Obs.reset ();
+  ignore (Sim.Pool.run ~jobs:4 (trial_jobs ()));
+  let par_totals = Obs.totals () in
+  Obs.reset ();
+  Alcotest.(check (list int))
+    "Obs.totals identical after sequential and parallel runs"
+    (Array.to_list seq_totals) (Array.to_list par_totals)
+
+(* ---- campaign parity ----------------------------------------------------- *)
+
+let campaign =
+  {
+    Fault.base =
+      {
+        Fault.default_spec with
+        keyspace = 80;
+        ops_per_thread = 60;
+        seed = 4242;
+        draw_seed = 4243;
+      };
+    grid = { Fault.origin = 6_000; stride = 4_000; points = 3; jitter = 300 };
+    draws = 2;
+  }
+
+let summary_digest (s : Fault.summary) =
+  [
+    s.Fault.trials;
+    s.Fault.crashed_trials;
+    s.Fault.total_crashes;
+    s.Fault.audit_passes;
+    s.Fault.audit_failures;
+    s.Fault.violation_trials;
+    s.Fault.repairs;
+    List.length s.Fault.failures;
+  ]
+
+let test_fault_campaign_parity () =
+  let seq = Fault.run_campaign ~jobs:1 campaign in
+  let par = Fault.run_campaign ~jobs:4 campaign in
+  Alcotest.(check (list int))
+    "campaign summary identical for -j1 and -j4" (summary_digest seq)
+    (summary_digest par);
+  Alcotest.(check (list (float 0.0)))
+    "per-trial recovery times identical" seq.Fault.recovery_ns
+    par.Fault.recovery_ns;
+  Alcotest.(check (list int))
+    "crash points identical" seq.Fault.crash_points par.Fault.crash_points
+
+let test_crash_test_campaign_parity () =
+  let run jobs =
+    Harness.Crash_test.campaign ~jobs
+      ~make:(fun () -> Kv.make_upskiplist fast_sys)
+      ~threads:4 ~keyspace:100 ~ops_per_thread:80 ~crash_events:15_000
+      ~seed:777 ~trials:4 ()
+  in
+  let digest vs =
+    List.map
+      (fun (i, (v : Lincheck.Checker.violation)) ->
+        (i, v.Lincheck.Checker.key, v.Lincheck.Checker.message))
+      vs
+  in
+  Alcotest.(check (list (triple int int string)))
+    "violation lists identical for -j1 and -j4"
+    (digest (run 1))
+    (digest (run 4))
+
+(* ---- failure propagation -------------------------------------------------- *)
+
+exception Job_failed of int
+
+let raising_jobs =
+  [
+    (fun () -> 1);
+    (fun () -> raise (Job_failed 1));
+    (fun () -> 2);
+    (fun () -> raise (Job_failed 3));
+  ]
+
+let first_failure jobs =
+  match Sim.Pool.run ~jobs raising_jobs with
+  | _ -> Alcotest.fail "expected the pool to re-raise"
+  | exception Job_failed i -> i
+
+let test_raising_job_propagates_first () =
+  Alcotest.(check int) "sequential raises the first failing job" 1
+    (first_failure 1);
+  Alcotest.(check int) "parallel raises the first failing job by index" 1
+    (first_failure 4)
+
+(* ---- nesting -------------------------------------------------------------- *)
+
+let test_nested_pool_runs_sequentially () =
+  (* a job that fans out again must not deadlock or change results: the
+     inner pool degrades to the sequential path inside a worker *)
+  let outer =
+    Sim.Pool.map ~jobs:2
+      (fun base -> Sim.Pool.map ~jobs:4 (fun i -> base + i) [ 1; 2; 3 ])
+      [ 10; 20 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested pools return sequential results"
+    [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ]
+    outer
+
+(* ---- trace guard ----------------------------------------------------------- *)
+
+let test_trace_forces_sequential () =
+  (* with tracing on, jobs stay on the calling domain so every event is
+     recorded; the easiest observable: the trace sees events from the jobs *)
+  Obs.Trace.start ~capacity:4096 ();
+  let before = Obs.Trace.recorded () in
+  ignore (Sim.Pool.run ~jobs:4 [ trial_job 5001; trial_job 5002 ]);
+  let after = Obs.Trace.recorded () in
+  Obs.Trace.stop ();
+  Obs.Trace.clear ();
+  Alcotest.(check bool) "trace recorded the pooled jobs' events" true
+    (after > before)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "determinism",
+        [
+          slow_case "parallel = sequential" test_parallel_matches_sequential;
+          slow_case "repeated parallel runs identical"
+            test_repeated_parallel_runs_identical;
+          case "map preserves order" test_map_preserves_order;
+          slow_case "Obs totals parity" test_obs_totals_parity;
+        ] );
+      ( "campaigns",
+        [
+          slow_case "fault campaign parity" test_fault_campaign_parity;
+          slow_case "crash-test campaign parity"
+            test_crash_test_campaign_parity;
+        ] );
+      ( "failure",
+        [ case "first failing job re-raises" test_raising_job_propagates_first ] );
+      ( "nesting",
+        [ case "nested pool runs sequentially" test_nested_pool_runs_sequentially ] );
+      ( "tracing",
+        [ slow_case "trace forces sequential" test_trace_forces_sequential ] );
+    ]
