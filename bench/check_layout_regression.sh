@@ -1,0 +1,63 @@
+#!/bin/sh
+# Layout cost regression check: the layout ablation's per-op simulated
+# costs (cache misses, flushes, fences) must stay within a small tolerance
+# of the checked-in baseline. Runs are deterministic and seeded, so the
+# tolerance only absorbs benign scheduling shifts from unrelated changes —
+# a real layout regression (an extra line per hop, a lost flush
+# coalescing) blows through it and fails `dune runtest`.
+
+set -eu
+
+TOL=0.05  # relative tolerance
+ABS=0.05  # absolute floor, for counters near zero
+
+# Emit "section/op counter value" triples for the hot per-op counters.
+extract() {
+  awk '
+    /"name":/ {
+      if (match($0, /"name": "[^"]*"/))
+        sec = substr($0, RSTART + 9, RLENGTH - 10)
+    }
+    /\{"op":/ {
+      if (match($0, /"op": "[^"]*"/))
+        op = substr($0, RSTART + 7, RLENGTH - 8)
+      rest = substr($0, index($0, "\"per_op\""))
+      split("load_misses flushes fences store_misses", cs, " ")
+      for (i in cs) {
+        if (match(rest, "\"" cs[i] "\": [0-9.]+")) {
+          v = substr(rest, RSTART, RLENGTH)
+          sub(/.*: /, "", v)
+          print sec "/" op, cs[i], v
+        }
+      }
+    }' "$1"
+}
+
+extract layout_baseline.json > baseline.metrics
+extract bench_layout.json > current.metrics
+
+if [ "$(wc -l < current.metrics)" -eq 0 ]; then
+  echo "check_layout_regression: no metrics extracted" >&2
+  exit 1
+fi
+
+paste baseline.metrics current.metrics | awk -v tol="$TOL" -v abs="$ABS" '
+  {
+    if ($1 != $4 || $2 != $5) {
+      print "metric list mismatch (regenerate layout_baseline.json?): " $0
+      bad = 1
+      next
+    }
+    b = $3 + 0; c = $6 + 0
+    d = c - b; if (d < 0) d = -d
+    lim = b * tol; if (lim < abs) lim = abs
+    if (d > lim) {
+      printf "REGRESSION %s %s: baseline %.4f, current %.4f (tol %.4f)\n", \
+        $1, $2, b, c, lim
+      bad = 1
+    }
+  }
+  END { exit bad }
+'
+
+echo "layout regression check: $(wc -l < current.metrics | tr -d ' ') per-op metrics within tolerance of baseline"

@@ -318,7 +318,7 @@ let workload_e () =
     let sys = striped_sys in
     let pmem = Kv.make_pmem sys in
     let bw = Upskiplist.Skiplist.required_block_words cfg in
-    let mem = Memory.Mem.create ~pmem ~chunk_words:(64 * bw) ~block_words:bw ~n_arenas:8 in
+    let mem = Memory.Mem.create ~pmem ~chunk_words:(64 * bw) ~block_words:bw ~n_arenas:8 () in
     Memory.Mem.format mem;
     let sl = Upskiplist.Skiplist.create ~mem ~cfg ~max_threads:sys.Kv.max_threads ~seed in
     (match
@@ -695,7 +695,7 @@ let ablation_reclamation () =
       done;
       !acc
     in
-    let total = Memory.Mem.chunks_allocated mem * Memory.Mem.blocks_per_chunk mem in
+    let total = Memory.Mem.total_blocks mem in
     [
       (if reclaim then "physical removal" else "tombstones only (paper)");
       string_of_int (total - free);
@@ -723,6 +723,95 @@ let ablations () =
   ablation_arenas ();
   ablation_sorted_splits ();
   ablation_reclamation ()
+
+(* ---- layout ablation (PR 6) --------------------------------------------------- *)
+
+(* Cache-cost ablation for the node-layout work: per-op simulated cache
+   misses, flushes, and fences on the YCSB A path, per layout variant.
+   Machine-readable copy lands in bench_layout.json (consumed by
+   bench/check_layout_regression.sh and snapshotted into BENCH_PR6.json). *)
+(* Four-point ablation per keys-per-node setting: neither optimisation
+   (tall-only blocks, no fingers — the pre-refactor cost model), each one
+   alone, and the default full layout. *)
+let layout_variants () =
+  let ablate base =
+    [
+      ("base", { base with Upskiplist.Config.short_cutoff = 0; finger_cache = false });
+      ("trunc", { base with Upskiplist.Config.finger_cache = false });
+      ("finger", { base with Upskiplist.Config.short_cutoff = 0 });
+      ("full", base);
+    ]
+  in
+  List.concat_map
+    (fun (name, cfg) ->
+      List.map (fun (v, c) -> (name ^ "-" ^ v, c)) (ablate cfg))
+    [ ("K16", Upskiplist.Config.default); ("K64", bench_cfg) ]
+
+let layout () =
+  Report.heading
+    "Ablation — cache-conscious node layout (misses/op, flushes/op; YCSB A)";
+  let n = 4_000 in
+  (* YCSB A proper (read/update), plus an upsert mix with fresh-key inserts
+     so the slot-claim path (key+value persistence) is on the table too *)
+  let a_ins =
+    { W.a with W.label = "A+ins"; update = 0.25; insert = 0.25 }
+  in
+  let run (label, cfg) () =
+    let kv = Kv.make_upskiplist ~cfg striped_sys in
+    Driver.preload kv ~threads:4 ~n;
+    List.map
+      (fun spec ->
+        let res =
+          Driver.run_workload kv ~spec ~threads:8 ~n_initial:n
+            ~ops_per_thread:400 ~seed
+        in
+        (label ^ "/" ^ spec.W.label, res.Driver.digests))
+      [ W.a; a_ins ]
+  in
+  let results =
+    List.concat (Sim.Pool.run ~jobs:!jobs (List.map run (layout_variants ())))
+  in
+  let rows =
+    List.concat_map
+      (fun (label, digests) ->
+        List.map
+          (fun d ->
+            let r id =
+              Printf.sprintf "%.3f"
+                (float_of_int d.Driver.totals.(id)
+                /. float_of_int (max 1 d.Driver.count))
+            in
+            [
+              label;
+              d.Driver.op;
+              string_of_int d.Driver.count;
+              r Obs.id_load_miss;
+              r Obs.id_store_miss;
+              r Obs.id_flush;
+              r Obs.id_dirty_flush;
+              r Obs.id_fence;
+              r Obs.id_finger_hit;
+            ])
+          digests)
+      results
+  in
+  Report.table
+    ~headers:
+      [
+        "variant"; "op"; "n"; "ld-miss/op"; "st-miss/op"; "flush/op";
+        "dirty-fl/op"; "fence/op"; "finger-hit/op";
+      ]
+    ~rows;
+  Report.write_metrics_json ~path:"bench_layout.json"
+    ~label:"layout ablation (YCSB A, 8 threads)" ~seed
+    (List.map
+       (fun (label, ds) ->
+         ( label,
+           List.map
+             (fun d -> (d.Driver.op, d.Driver.count, d.Driver.totals))
+             ds ))
+       results);
+  Fmt.pr "layout metrics written to bench_layout.json@."
 
 (* ---- bechamel micro-benchmarks ------------------------------------------------ *)
 
@@ -950,6 +1039,7 @@ let experiments =
     ("table2.1", table_2_1);
     ("chapter6", chapter6);
     ("ablations", ablations);
+    ("layout", layout);
     ("svc-scaling", svc_scaling);
     ("micro", micro);
     ("smoke", smoke);
@@ -959,7 +1049,7 @@ let experiments =
 let default_set =
   [
     "fig5.1"; "fig5.2"; "fig5.3"; "fig5.4"; "fig5.5"; "table5.4"; "workloadE";
-    "table2.1"; "chapter6"; "ablations"; "svc-scaling";
+    "table2.1"; "chapter6"; "ablations"; "layout"; "svc-scaling";
   ]
 
 (* Baseline wall-clock file: one "<experiment> <seconds>" pair per line,

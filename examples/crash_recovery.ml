@@ -20,7 +20,7 @@ let () =
   let cfg = { Upskiplist.Config.default with keys_per_node = 8 } in
   let block_words = SL.required_block_words cfg in
   let mem =
-    Mem.create ~pmem ~chunk_words:(32 * block_words) ~block_words ~n_arenas:4
+    Mem.create ~pmem ~chunk_words:(32 * block_words) ~block_words ~n_arenas:4 ()
   in
   Mem.format mem;
   let sl = SL.create ~mem ~cfg ~max_threads:threads ~seed:7 in
@@ -102,7 +102,7 @@ let () =
     done;
     !acc
   in
-  let total = Mem.chunks_allocated mem * Mem.blocks_per_chunk mem in
+  let total = Mem.total_blocks mem in
   Fmt.pr
     "block accounting: %d total carved, %d free before recovery allocs, %d \
      free after, %d linked as nodes -> %s@."

@@ -18,7 +18,7 @@ let () =
   let cfg = { Upskiplist.Config.default with keys_per_node = 16 } in
   let block_words = SL.required_block_words cfg in
   let mem =
-    Mem.create ~pmem ~chunk_words:(64 * block_words) ~block_words ~n_arenas:8
+    Mem.create ~pmem ~chunk_words:(64 * block_words) ~block_words ~n_arenas:8 ()
   in
   Mem.format mem;
 

@@ -20,6 +20,19 @@ type t = {
       (* the paper's follow-up for removals (Section 4.6): physically
          unlink all-tombstone nodes and reclaim them through epoch-based
          reclamation *)
+  short_cutoff : int;
+      (* height-truncated node blocks (verlib-style short/tall pools):
+         nodes of height <= short_cutoff allocate from a block class that
+         only reserves short_cutoff next-pointer words instead of
+         max_height. 0 disables truncation (every node gets a full-height
+         tall block — the pre-PR6 footprint) *)
+  finger_cache : bool;
+      (* per-fiber search fingers (Foresight-style): traversals may resume
+         from the predecessor towers remembered by the previous traversal
+         on the same fiber, validated against the failure-free epoch.
+         Ignored (forced off) when reclaim_empty_nodes is set: physical
+         removal can retire a remembered node, and the finger's epoch
+         check only witnesses crashes, not reclamation. *)
 }
 
 let default =
@@ -30,14 +43,48 @@ let default =
     recovery_budget = 1;
     sorted_splits = false;
     reclaim_empty_nodes = false;
+    (* p = 0.5 gives P(height <= 4) ~ 94%: the short class covers almost
+       every node while tall towers keep their full arrays *)
+    short_cutoff = 4;
+    finger_cache = true;
   }
+
+(* The node layout is line-oriented: the hot header (epoch, splitCount,
+   kind, lock, height, sorted count, anchor key, level-0 next) fills
+   exactly one 64-byte line, and key/value pairs are interleaved two words
+   per slot so a slot's key and value always share a line. These constants
+   mirror Pmem.line_words = 8; Node.layout depends on them. *)
+let line_words = 8
+let header_words = 8
+let slot_words = 2
 
 let validate t =
   if t.keys_per_node < 1 then invalid_arg "Config: keys_per_node < 1";
   if t.max_height < 2 || t.max_height > 40 then invalid_arg "Config: max_height";
   if t.branching_p <= 0.0 || t.branching_p >= 1.0 then
     invalid_arg "Config: branching_p";
-  if t.recovery_budget < 0 then invalid_arg "Config: recovery_budget"
+  if t.recovery_budget < 0 then invalid_arg "Config: recovery_budget";
+  if t.short_cutoff < 0 || t.short_cutoff > t.max_height then
+    invalid_arg "Config: short_cutoff outside [0, max_height]";
+  (* Line-straddle guard: the pair region starts on a line boundary and
+     slots are a power-of-two fraction of a line, so no slot's key/value
+     pair may straddle two lines for any keys_per_node. If a layout edit
+     breaks either property, every keys_per_node whose final slot crosses
+     a line must document its padding — reject loudly instead. *)
+  if header_words mod line_words <> 0 then
+    invalid_arg "Config: pair region not line-aligned (undocumented padding)";
+  if line_words mod slot_words <> 0 then
+    invalid_arg "Config: key/value slot straddles a line (undocumented padding)"
 
-(* Words a node occupies; the block allocator is sized from this. *)
-let node_words t = 6 + (2 * t.keys_per_node) + t.max_height
+(* Words a node occupies: the one-line header, [keys_per_node] interleaved
+   key/value slots, and the level-2.. next-pointer words of the class
+   ([next_cap]; levels 0 and 1 live in the header, so the two hottest
+   traversal levels are one-line hops). *)
+let node_words_capped t ~next_cap =
+  header_words + (slot_words * t.keys_per_node) + max 0 (next_cap - 2)
+
+(* Tall class: full-height towers; the block allocator is sized from this. *)
+let node_words t = node_words_capped t ~next_cap:t.max_height
+
+(* Short class (meaningful when short_cutoff > 0). *)
+let short_node_words t = node_words_capped t ~next_cap:t.short_cutoff

@@ -15,14 +15,51 @@ type t = {
   reclaim_empty_nodes : bool;
       (** physically unlink and reclaim all-tombstone nodes (paper §4.6
           follow-up), with epoch-based reclamation *)
+  short_cutoff : int;
+      (** nodes of height <= [short_cutoff] allocate height-truncated
+          blocks that reserve only [short_cutoff] next-pointer words
+          (verlib-style short/tall pools); 0 disables truncation and every
+          node gets a full [max_height] tower array *)
+  finger_cache : bool;
+      (** per-fiber search fingers: traversals resume from the previous
+          traversal's predecessor towers when their epoch validates.
+          Forced off under [reclaim_empty_nodes] (the epoch check cannot
+          witness physical reclamation). *)
 }
 
 val default : t
-(** 16 keys/node, 24 levels, p = 0.5, budget 1, both follow-up
-    optimisations off. *)
+(** 16 keys/node, 24 levels, p = 0.5, budget 1, both paper follow-up
+    optimisations off, short_cutoff 4, finger cache on. *)
 
 val validate : t -> unit
-(** Raises [Invalid_argument] on out-of-range fields. *)
+(** Raises [Invalid_argument] on out-of-range fields, and on any layout
+    whose key/value slots would straddle a cache line without documented
+    padding (structurally impossible for the shipped header/slot sizes). *)
+
+(** {1 Node layout constants}
+
+    The layout is line-oriented: one 64-byte hot header line (epoch,
+    splitCount, kind, lock, height, sorted count, anchor key, level-0
+    next), then [keys_per_node] two-word key/value slots, then the level-1
+    and up next pointers of the block class. *)
+
+val line_words : int
+(** Words per cache line (mirrors [Pmem.line_words]). *)
+
+val header_words : int
+(** Words in the node header (one line). *)
+
+val slot_words : int
+(** Words per key/value slot (key and value are adjacent). *)
 
 val node_words : t -> int
-(** Words one node occupies under this configuration. *)
+(** Words a tall-class (full [max_height] tower array) node occupies; the
+    block allocator's tall class is sized from this. *)
+
+val short_node_words : t -> int
+(** Words a short-class node occupies (tower array truncated to
+    [short_cutoff]); meaningful when [short_cutoff > 0]. *)
+
+val node_words_capped : t -> next_cap:int -> int
+(** Words for a node whose next-pointer array is capped at [next_cap]
+    levels (level 0 lives in the header). *)

@@ -1,23 +1,38 @@
 (* UPSkipList node layout and field access.
 
-   A node occupies one allocator block. The first words form the object
-   header shared with free blocks (kind at word 2 discriminates); the first
-   cache line therefore holds epochID, splitCount, the split lock, the
-   height and the first key — everything a traversal reads per hop, as the
-   paper arranges deliberately.
+   A node occupies one allocator block. The layout is cache-line oriented
+   (PR 6): the first 8 words — one 64-byte line — hold everything a
+   traversal hop reads or a recovery check inspects, so advancing along
+   level 0 touches exactly one line per node. Key/value pairs are
+   interleaved two words per slot, so claiming a slot (key CAS + value
+   CAS) dirties a single line and persists with one flush. Next pointers
+   above level 0 live at the block's tail, and a height-truncated block
+   class ([Config.short_cutoff]) reserves only as many of those words as
+   short towers can use.
 
-     word 0              epochID (failure-free epoch of last consistency
-                         confirmation; block: free-list next)
-     word 1              splitCount
-     word 2              kind (free block / node)
-     word 3              splitLock (packed reader-writer lock)
-     word 4              height
-     word 5              sorted prefix length (sorted-splits optimisation:
-                         keys[0..sorted-1] are ascending and null-free, so
-                         lookups binary-search them — paper future work)
-     words 6 .. 6+K-1    keys   (0 = empty slot; unsorted after the prefix)
-     words 6+K .. 6+2K-1 values (0 = tombstone)
-     words 6+2K ..       next pointers, level 0 .. H-1 (RIV words)
+     word 0                epochID (failure-free epoch of last consistency
+                           confirmation; block: free-list next)
+     word 1                splitCount
+     word 2                kind (free block / node)
+     word 3                splitLock (packed reader-writer lock)
+     word 4                height (low 8 bits) | sorted prefix length << 8
+                           (sorted-splits optimisation: slots
+                           [0..sorted-1] are ascending and null-free, so
+                           lookups binary-search them)
+     word 5                anchor key — an immutable copy of slot 0's key
+                           (the node's minimum; see below), read by hops
+     word 6                next pointer, level 0 (RIV word)
+     word 7                next pointer, level 1 — packing it here makes
+                           the two hottest traversal levels one-line hops
+     words 8 .. 8+2K-1     K interleaved slots: key_i at 8+2i (0 = empty),
+                           value_i at 8+2i+1 (0 = tombstone)
+     words 8+2K ..         next pointers, level 2 .. cap-1 (RIV words),
+                           cap = short_cutoff (short class) or max_height
+
+   Slot 0's key never changes after initialisation — an insert into an
+   existing node claims a strictly greater key (equal keys take the
+   update path), and a split moves only the upper half of the pairs out —
+   so the anchor copy in the header cannot go stale.
 
    Key 0 and value 0 are reserved sentinels; the head sentinel's first key
    is [head_key] (−∞) and the tail's is [tail_key] (+∞). *)
@@ -29,36 +44,75 @@ let o_epoch = 0
 let o_split_count = 1
 let o_kind = 2
 let o_lock = 3
-let o_height = 4
-let o_sorted = 5
-let o_keys = 6
+let o_hs = 4  (* packed height | sorted *)
+let o_anchor = 5
+let o_next0 = 6
+let o_next1h = 7  (* level-1 next, in the header line *)
+let o_pairs = Config.header_words
+
+(* Height and sorted count share word [o_hs] (height is immutable and
+   <= 40; the sorted count only changes under the split lock, so the
+   read-modify-write in [set_sorted_count] cannot race another writer). *)
+let hs_height w = w land 0xff
+let hs_sorted w = w lsr 8
+let pack_hs ~height ~sorted = height lor (sorted lsl 8)
+
+(* Slot offsets are config-independent: the pair region always starts
+   right after the one-line header. *)
+let o_key i = o_pairs + (Config.slot_words * i)
+let o_value i = o_key i + 1
 
 let empty_key = 0
 let tombstone = 0
 let head_key = min_int
 let tail_key = max_int
 
-type layout = { k : int; o_values : int; o_next : int; words : int }
+type layout = {
+  k : int;
+  o_next2 : int;  (* next level l >= 2 lives at o_next2 + l - 2 *)
+  short_cutoff : int;  (* 0 = single (tall) block class *)
+  tall_cap : int;  (* = max_height *)
+  short_words : int;
+  tall_words : int;
+}
 
 let layout (cfg : Config.t) =
   let k = cfg.keys_per_node in
   {
     k;
-    o_values = o_keys + k;
-    o_next = o_keys + (2 * k);
-    words = Config.node_words cfg;
+    o_next2 = o_pairs + (Config.slot_words * k);
+    short_cutoff = cfg.short_cutoff;
+    tall_cap = cfg.max_height;
+    short_words = Config.short_node_words cfg;
+    tall_words = Config.node_words cfg;
   }
+
+let o_next ly level =
+  if level = 0 then o_next0
+  else if level = 1 then o_next1h
+  else ly.o_next2 + level - 2
+
+(* Block class of a node of height [h]: [true] = short (truncated). *)
+let is_short ly h = ly.short_cutoff > 0 && h <= ly.short_cutoff
+
+(* Words the node's block actually holds / levels its tower array caps. *)
+let words_for_height ly h = if is_short ly h then ly.short_words else ly.tall_words
+let cap_for_height ly h = if is_short ly h then ly.short_cutoff else ly.tall_cap
 
 (* ---- field accessors (simulated time) --------------------------------- *)
 
 let epoch mem n = Mem.read_field mem n o_epoch
 let split_count mem n = Mem.read_field mem n o_split_count
-let sorted_count mem n = Mem.read_field mem n o_sorted
-let set_sorted_count mem n c = Mem.write_field mem n o_sorted c
-let height mem n = Mem.read_field mem n o_height
-let key mem n i = Mem.read_field mem n (o_keys + i)
-let key0 mem n = Mem.read_field mem n o_keys
-let value mem ly n i = Mem.read_field mem n (ly.o_values + i)
+let sorted_count mem n = hs_sorted (Mem.read_field mem n o_hs)
+let height mem n = hs_height (Mem.read_field mem n o_hs)
+
+let set_sorted_count mem n c =
+  Mem.write_field mem n o_hs (pack_hs ~height:(height mem n) ~sorted:c)
+let key mem n i = Mem.read_field mem n (o_key i)
+
+(* The hop-time minimum key: the header anchor, not slot 0 — one line. *)
+let key0 mem n = Mem.read_field mem n o_anchor
+let value mem _ly n i = Mem.read_field mem n (o_value i)
 
 (* Physical-removal marks live in the sign bit of next-pointer words
    (Herlihy-style marking, paper Section 4.6 follow-up): a marked pointer
@@ -68,10 +122,10 @@ let mark_bit = min_int
 let is_marked w = w < 0
 let unmark w = w land max_int
 
-let next_raw mem ly n level = Mem.read_field mem n (ly.o_next + level)
+let next_raw mem ly n level = Mem.read_field mem n (o_next ly level)
 let next mem ly n level = Riv.of_word (unmark (next_raw mem ly n level))
 
-let set_next mem ly n level p = Mem.write_ptr mem n (ly.o_next + level) p
+let set_next mem ly n level p = Mem.write_ptr mem n (o_next ly level) p
 
 (* Structure-level CAS accounting: every node-field or lock CAS bumps the
    per-fiber attempt/failure counters, attributed via the scheduler's
@@ -83,21 +137,30 @@ let counted ok =
   ok
 
 let cas_next mem ly n level ~expected ~desired =
-  counted (Mem.cas_ptr mem n (ly.o_next + level) ~expected ~desired)
+  counted (Mem.cas_ptr mem n (o_next ly level) ~expected ~desired)
 
 let cas_key mem n i ~expected ~desired =
-  counted (Mem.cas_field mem n (o_keys + i) ~expected ~desired)
+  counted (Mem.cas_field mem n (o_key i) ~expected ~desired)
 
-let cas_value mem ly n i ~expected ~desired =
-  counted (Mem.cas_field mem n (ly.o_values + i) ~expected ~desired)
+let cas_value mem _ly n i ~expected ~desired =
+  counted (Mem.cas_field mem n (o_value i) ~expected ~desired)
 
 let cas_epoch mem n ~expected ~desired =
   counted (Mem.cas_field mem n o_epoch ~expected ~desired)
 
-let persist_next mem ly n level = Mem.persist_field mem n (ly.o_next + level)
-let persist_value mem ly n i = Mem.persist_field mem n (ly.o_values + i)
-let persist_key mem n i = Mem.persist_field mem n (o_keys + i)
-let persist_all mem ly n = Mem.persist_range mem n ~first:0 ~words:ly.words
+let persist_next mem ly n level = Mem.persist_field mem n (o_next ly level)
+let persist_value mem _ly n i = Mem.persist_field mem n (o_value i)
+let persist_key mem n i = Mem.persist_field mem n (o_key i)
+
+(* Persist a freshly claimed slot: key and value share a line (slots are
+   two words, the pair region is line-aligned), so this is one flush and
+   one fence where the split path used to pay two of each. *)
+let persist_slot mem _ly n i =
+  Mem.persist_range mem n ~first:(o_key i) ~words:Config.slot_words
+
+(* Persist the whole node — only the words its block class actually has. *)
+let persist_all mem ly n ~node_height =
+  Mem.persist_range mem n ~first:0 ~words:(words_for_height ly node_height)
 
 (* ---- split lock: epoch-stamped recoverable reader-writer lock ----------
 
@@ -238,27 +301,30 @@ end
 
 (* Initialise a freshly allocated (zeroed) block as a node holding [keys] and
    [values]. Next pointers are populated separately before linking. Runs in
-   fiber context and persists the node (Function 4, lines 42-43). *)
+   fiber context and persists the node (Function 4, lines 42-43). [keys]
+   must be non-empty: slot 0 anchors the header's immutable minimum key. *)
 let init mem ly n ~node_epoch ~node_height ~sorted ~keys ~values =
   Mem.write_field mem n o_epoch node_epoch;
   Mem.write_field mem n o_split_count 0;
   Mem.write_field mem n o_kind Mem.kind_node;
   Mem.write_field mem n o_lock 0;
-  Mem.write_field mem n o_height node_height;
-  Mem.write_field mem n o_sorted sorted;
-  List.iteri (fun i k -> Mem.write_field mem n (o_keys + i) k) keys;
-  List.iteri (fun i v -> Mem.write_field mem n (ly.o_values + i) v) values;
-  persist_all mem ly n
+  Mem.write_field mem n o_hs (pack_hs ~height:node_height ~sorted);
+  (match keys with
+  | k0 :: _ -> Mem.write_field mem n o_anchor k0
+  | [] -> invalid_arg "Node.init: empty keys");
+  List.iteri (fun i k -> Mem.write_field mem n (o_key i) k) keys;
+  List.iteri (fun i v -> Mem.write_field mem n (o_value i) v) values;
+  persist_all mem ly n ~node_height
 
 (* Sentinel setup at pool-format time (no simulated cost). *)
 let init_sentinel_poked mem ly n ~first_key ~node_height =
   Mem.poke_field mem n o_epoch 1;
-  Mem.poke_field mem n o_sorted 0;
   Mem.poke_field mem n o_split_count 0;
   Mem.poke_field mem n o_kind Mem.kind_node;
   Mem.poke_field mem n o_lock 0;
-  Mem.poke_field mem n o_height node_height;
-  Mem.poke_field mem n o_keys first_key;
+  Mem.poke_field mem n o_hs (pack_hs ~height:node_height ~sorted:0);
+  Mem.poke_field mem n o_anchor first_key;
+  Mem.poke_field mem n (o_key 0) first_key;
   for level = 0 to node_height - 1 do
-    Mem.poke_ptr mem n (ly.o_next + level) Riv.null
+    Mem.poke_ptr mem n (o_next ly level) Riv.null
   done

@@ -10,6 +10,17 @@
    logged block allocator so interrupted inserts cannot leak memory; the log
    check is deferred to the owning thread's next allocation.
 
+   Cache-conscious layout (PR 6): nodes are allocated from two block
+   classes — short towers (height <= [Config.short_cutoff]) take truncated
+   blocks that reserve only [short_cutoff] next-pointer words — and the hot
+   header packs the hop-time fields (epoch, locks, anchor key, level-0
+   next) into one cache line, so advancing along the bottom level costs one
+   simulated line per node instead of two. Per-fiber search fingers
+   (optional, [Config.finger_cache]) let a traversal resume from the
+   predecessor towers its fiber found last time, validated against the
+   failure-free epoch; nodes are never physically unlinked while fingers
+   are enabled, so a remembered predecessor stays on its level forever.
+
    Operations:
    - [search]/[mem_key]: wait-free traversal + internal key scan, validated
      against the node's split counter and split lock;
@@ -23,6 +34,22 @@ module Mem = Memory.Mem
 module Riv = Memory.Riv
 module Block_alloc = Memory.Block_alloc
 
+(* Per-fiber search finger: the predecessor towers of this fiber's last
+   completed traversal. [f_epoch] = 0 means empty; a finger recorded in an
+   older failure-free epoch is discarded (its nodes may predate recovery).
+   Valid as a starting point for any target >= [f_key]: node minimum keys
+   are immutable and a node once linked at a level stays there (physical
+   reclamation forces fingers off). *)
+type finger = {
+  mutable f_epoch : int;
+  mutable f_key : int;
+  mutable f_preds : Riv.t array;
+      (* replaced wholesale on update, never mutated in place: an in-flight
+         traversal holds the array it started from, and a nested recovery
+         traversal (which records its own, possibly further-right, finger)
+         must not shift that snapshot under it *)
+}
+
 type t = {
   mem : Mem.t;
   cfg : Config.t;
@@ -31,6 +58,7 @@ type t = {
   tail : Riv.t;
   height_rngs : Sim.Rng.t array;
   ops : Block_alloc.node_ops;
+  fingers : finger array option;  (* present iff cfg.finger_cache applies *)
   reclaim : Reclaim.t option;  (* present iff cfg.reclaim_empty_nodes *)
 }
 
@@ -39,17 +67,29 @@ let config t = t.cfg
 let head t = t.head
 let tail t = t.tail
 
-(* Block size the allocator must be configured with for a given config. *)
-let required_block_words cfg =
-  let w = Config.node_words cfg in
-  (* round up to a cache-line multiple *)
-  (w + Pmem.line_words - 1) / Pmem.line_words * Pmem.line_words
+(* Block sizes the allocator must be configured with for a given config:
+   the tall class holds full-height towers, the short class (meaningful
+   when short_cutoff > 0) holds truncated ones. Both round up to a
+   cache-line multiple. *)
+let round_to_line w = (w + Pmem.line_words - 1) / Pmem.line_words * Pmem.line_words
+let required_block_words cfg = round_to_line (Config.node_words cfg)
+let required_short_block_words cfg = round_to_line (Config.short_node_words cfg)
 
 let create ~mem ~cfg ~max_threads ~seed =
   Config.validate cfg;
   let ly = Node.layout cfg in
-  if Mem.block_words mem < ly.Node.words then
+  if Mem.block_words mem < ly.Node.tall_words then
     invalid_arg "Skiplist.create: allocator blocks smaller than a node";
+  let ly =
+    (* an allocator without a short class (or whose short blocks would not
+       actually be smaller once line-rounded) degrades gracefully: every
+       node takes a tall block *)
+    if cfg.Config.short_cutoff > 0 && Mem.n_classes mem < 2 then
+      { ly with Node.short_cutoff = 0 }
+    else ly
+  in
+  if ly.Node.short_cutoff > 0 && Mem.class_words mem ~cls:1 < ly.Node.short_words
+  then invalid_arg "Skiplist.create: short blocks smaller than a short node";
   let head = Mem.root_alloc mem ~pool:0 ~words:(Mem.block_words mem) in
   let tail = Mem.root_alloc mem ~pool:0 ~words:(Mem.block_words mem) in
   Node.init_sentinel_poked mem ly head ~first_key:Node.head_key
@@ -57,7 +97,7 @@ let create ~mem ~cfg ~max_threads ~seed =
   Node.init_sentinel_poked mem ly tail ~first_key:Node.tail_key
     ~node_height:cfg.Config.max_height;
   for level = 0 to cfg.Config.max_height - 1 do
-    Mem.poke_ptr mem head (ly.Node.o_next + level) tail
+    Mem.poke_ptr mem head (Node.o_next ly level) tail
   done;
   let root_rng = Sim.Rng.create seed in
   let reclaim =
@@ -66,6 +106,19 @@ let create ~mem ~cfg ~max_threads ~seed =
         (Reclaim.create ~max_threads
            ~free:(fun ~tid node -> Block_alloc.delete_linked_object mem ~tid node)
            ())
+    else None
+  in
+  let fingers =
+    (* physical reclamation can retire a remembered node; the finger's
+       epoch check only witnesses crashes, so force the cache off *)
+    if cfg.Config.finger_cache && not cfg.Config.reclaim_empty_nodes then
+      Some
+        (Array.init max_threads (fun _ ->
+             {
+               f_epoch = 0;
+               f_key = 0;
+               f_preds = Array.make cfg.Config.max_height head;
+             }))
     else None
   in
   {
@@ -78,8 +131,9 @@ let create ~mem ~cfg ~max_threads ~seed =
     ops =
       {
         Block_alloc.key0 = (fun n -> Node.key0 mem n);
-        next0 = (fun n -> Node.next mem (Node.layout cfg) n 0);
+        next0 = (fun n -> Node.next mem ly n 0);
       };
+    fingers;
     reclaim;
   }
 
@@ -164,7 +218,7 @@ let mark_all_levels t n =
       if not (Node.is_marked w) then begin
         if
           Mem.cas_field t.mem n
-            (t.ly.Node.o_next + level)
+            (Node.o_next t.ly level)
             ~expected:w
             ~desired:(w lor Node.mark_bit)
         then Node.persist_next t.mem t.ly n level
@@ -189,33 +243,41 @@ let check_split_recovery t ~tid n =
     for i = 0 to k - 1 do
       let ki = Node.key t.mem n i in
       if ki = Node.empty_key then
-        Mem.write_field t.mem n (t.ly.Node.o_values + i) Node.tombstone
+        Mem.write_field t.mem n (Node.o_value i) Node.tombstone
       else if not (Riv.equal succ t.tail) then begin
         let rec dup j =
           if j >= k then ()
           else if Node.key t.mem succ j = ki then begin
-            Mem.write_field t.mem n (Node.o_keys + i) Node.empty_key;
-            Mem.write_field t.mem n (t.ly.Node.o_values + i) Node.tombstone
+            Mem.write_field t.mem n (Node.o_key i) Node.empty_key;
+            Mem.write_field t.mem n (Node.o_value i) Node.tombstone
           end
           else dup (j + 1)
         in
         dup 0
       end
     done;
-    Node.persist_all t.mem t.ly n;
+    (* erasures may puncture the sorted prefix: binary search needs it
+       intact, so drop it before making the repair durable *)
+    Node.set_sorted_count t.mem n 0;
+    Node.persist_all t.mem t.ly n ~node_height:(Node.height t.mem n);
     Node.Lock.write_unlock t.mem n
     end
   end
 
 (* Refresh a node's next pointers at [from_level ..] from fresh successor
-   information and persist them (Functions 18/19). *)
+   information and persist them (Functions 18/19). Levels 0 and 1 live in
+   the header line, away from the upper tower words: one header flush
+   covers both, and the tail words persist as their own range. *)
 let populate_levels t ~node ~succs ~from_level ~to_level =
   for level = from_level to to_level do
     Node.set_next t.mem t.ly node level succs.(level)
   done;
-  Mem.persist_range t.mem node
-    ~first:(t.ly.Node.o_next + from_level)
-    ~words:(to_level - from_level + 1)
+  if from_level <= 1 then Node.persist_next t.mem t.ly node from_level;
+  let lo = max 2 from_level in
+  if to_level >= lo then
+    Mem.persist_range t.mem node
+      ~first:(Node.o_next t.ly lo)
+      ~words:(to_level - lo + 1)
 
 (* Forward declarations resolved below: traversal and tower building are
    mutually recursive with recovery. *)
@@ -223,12 +285,42 @@ let rec traverse t ~tid ~recover key =
   let h = t.cfg.Config.max_height in
   let preds = Array.make h t.head in
   let succs = Array.make h t.tail in
+  (* Consult the fiber's finger: usable when recorded in the current
+     failure-free epoch for a target at or below this one (predecessor
+     minimum keys are immutable, so every remembered pred still precedes
+     [key]). A stale epoch invalidates the finger; a key-order mismatch
+     just misses. *)
+  let fstart =
+    match t.fingers with
+    | None -> None
+    | Some fs ->
+        let f = fs.(tid) in
+        if f.f_epoch = 0 then None
+        else if f.f_epoch <> Mem.epoch t.mem then begin
+          f.f_epoch <- 0;
+          obs_event ~tid Obs.id_finger_invalid 0;
+          None
+        end
+        else if f.f_key <= key then begin
+          obs_event ~tid Obs.id_finger_hit key;
+          Some f.f_preds
+        end
+        else None
+  in
   let recoveries = ref 0 in
   let rec attempt () =
     let restart = ref false in
     let pred = ref t.head in
     let level = ref (h - 1) in
     while (not !restart) && !level >= 0 do
+      (* A finger predecessor replaces the head start at each level (the
+         pred carried down from the level above, when it exists, is at
+         least as far right already). *)
+      (match fstart with
+      | Some fp when Riv.equal !pred t.head && not (Riv.equal fp.(!level) t.head)
+        ->
+          pred := fp.(!level)
+      | _ -> ());
       let cur = ref (Node.next t.mem t.ly !pred !level) in
       let walking = ref true in
       while !walking && not !restart do
@@ -272,6 +364,13 @@ let rec traverse t ~tid ~recover key =
     done;
     if !restart then attempt ()
     else begin
+      (match t.fingers with
+      | Some fs ->
+          let f = fs.(tid) in
+          f.f_epoch <- Mem.epoch t.mem;
+          f.f_key <- key;
+          f.f_preds <- Array.copy preds
+      | None -> ());
       let pred0 = preds.(0) in
       if Riv.equal pred0 t.head then
         { found = false; key_index = -1; split_count = 0; preds; succs }
@@ -381,9 +480,17 @@ let rec update_value t n i v =
   end
   else update_value t n i v
 
+(* Value CAS for a slot this thread just claimed: the caller persists the
+   whole slot (key + value, one line) afterwards, so no flush here. *)
+let rec claim_value t n i v =
+  let old = Node.value t.mem t.ly n i in
+  if Node.cas_value t.mem t.ly n i ~expected:old ~desired:v then old
+  else claim_value t n i v
+
 let make_linked_object t ~tid ~pred ~sorted ~keys ~values ~node_height =
   let key = List.hd keys in
-  let block = Block_alloc.alloc_block t.mem ~tid ~ops:t.ops ~pred ~key in
+  let cls = if Node.is_short t.ly node_height then 1 else 0 in
+  let block = Block_alloc.alloc_block ~cls t.mem ~tid ~ops:t.ops ~pred ~key in
   Node.init t.mem t.ly block
     ~node_epoch:(Mem.epoch t.mem)
     ~node_height
@@ -416,7 +523,9 @@ let create_successor t ~tid ~pred ~key ~value ~preds ~succs =
 type slot_status = Retry | Need_split | Done of int
 
 (* Function 16: claim an empty slot in an existing node under a read lock
-   (the lock only excludes concurrent splits, not other writers). *)
+   (the lock only excludes concurrent splits, not other writers). A
+   successful claim persists key and value with a single slot flush: the
+   two words share a cache line by layout. *)
 let insert_into_existing t ~key ~value ~split_count ~pred0 =
   if not (Node.Lock.read_lock t.mem pred0) then Retry
   else if Node.split_count t.mem pred0 <> split_count then begin
@@ -440,8 +549,9 @@ let insert_into_existing t ~key ~value ~split_count ~pred0 =
         else if ki = Node.empty_key then begin
           if Node.cas_key t.mem pred0 i ~expected:Node.empty_key ~desired:key
           then begin
-            Node.persist_key t.mem pred0 i;
-            finish (update_value t pred0 i value)
+            let old = claim_value t pred0 i value in
+            Node.persist_slot t.mem t.ly pred0 i;
+            finish old
           end
           else begin
             (* Lost the race for the slot; the winner may have inserted our
@@ -460,7 +570,8 @@ let insert_into_existing t ~key ~value ~split_count ~pred0 =
 (* Function 20: split a full node. The write lock (persisted before the new
    node becomes reachable, so an interrupted split is detectable) excludes
    updates while keys move; the median and above migrate to a new node
-   linked immediately after. *)
+   linked immediately after. The minimum key never moves, so the header
+   anchor stays valid across any number of splits. *)
 let split_node t ~tid ~preds ~succs =
   let pred0 = preds.(0) in
   if
@@ -501,11 +612,12 @@ let split_node t ~tid ~preds ~succs =
         let moved_key ki = List.mem ki new_keys in
         for i = 0 to k - 1 do
           if moved_key (Node.key t.mem pred0 i) then begin
-            Mem.write_field t.mem pred0 (Node.o_keys + i) Node.empty_key;
-            Mem.write_field t.mem pred0 (t.ly.Node.o_values + i) Node.tombstone
+            Mem.write_field t.mem pred0 (Node.o_key i) Node.empty_key;
+            Mem.write_field t.mem pred0 (Node.o_value i) Node.tombstone
           end
         done;
-        Node.persist_all t.mem t.ly pred0;
+        Node.persist_all t.mem t.ly pred0
+          ~node_height:(Node.height t.mem pred0);
         Node.Lock.write_unlock t.mem pred0;
         let f = traverse t ~tid ~recover:false (List.hd new_keys) in
         link_higher_levels t ~tid ~node ~start:1 ~node_height ~preds:f.preds
@@ -762,17 +874,17 @@ let to_alist_internal t ~peek =
     else begin
       let acc = ref acc in
       for i = 0 to k - 1 do
-        let ki = read_field n (Node.o_keys + i) in
+        let ki = read_field n (Node.o_key i) in
         if ki <> Node.empty_key && ki <> Node.head_key then begin
-          let v = read_field n (t.ly.Node.o_values + i) in
+          let v = read_field n (Node.o_value i) in
           if v <> Node.tombstone then acc := (ki, v) :: !acc
         end
       done;
-      walk (Riv.of_word (Node.unmark (read_field n (t.ly.Node.o_next + 0)))) !acc
+      walk (Riv.of_word (Node.unmark (read_field n Node.o_next0))) !acc
     end
   in
   let first =
-    Riv.of_word (Node.unmark (Mem.peek_field t.mem t.head (t.ly.Node.o_next + 0)))
+    Riv.of_word (Node.unmark (Mem.peek_field t.mem t.head Node.o_next0))
   in
   List.sort (fun (a, _) (b, _) -> compare a b) (walk first [])
 
@@ -785,11 +897,11 @@ let node_count t =
     if Riv.is_null n || Riv.equal n t.tail then acc
     else
       walk
-        (Riv.of_word (Node.unmark (Mem.peek_field t.mem n (t.ly.Node.o_next + 0))))
+        (Riv.of_word (Node.unmark (Mem.peek_field t.mem n Node.o_next0)))
         (acc + 1)
   in
   walk
-    (Riv.of_word (Node.unmark (Mem.peek_field t.mem t.head (t.ly.Node.o_next + 0))))
+    (Riv.of_word (Node.unmark (Mem.peek_field t.mem t.head Node.o_next0)))
     0
 
 (* Structural invariant check over the volatile image (tests):
@@ -802,18 +914,20 @@ let check_invariants t =
   let errs = ref [] in
   let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
   let pk obj i = Mem.peek_field t.mem obj i in
-  let nxt n level = Riv.of_word (Node.unmark (pk n (t.ly.Node.o_next + level))) in
+  let nxt n level = Riv.of_word (Node.unmark (pk n (Node.o_next t.ly level))) in
   let k = t.cfg.Config.keys_per_node in
   (* bottom level ordering + internal key bounds *)
   let rec walk0 n =
     if Riv.equal n t.tail then ()
     else begin
-      let k0 = pk n Node.o_keys in
+      let k0 = pk n (Node.o_key 0) in
+      if pk n Node.o_anchor <> k0 then
+        err "node anchor %d disagrees with slot-0 key %d" (pk n Node.o_anchor) k0;
       let succ = nxt n 0 in
-      let succ_k0 = pk succ Node.o_keys in
+      let succ_k0 = pk succ (Node.o_key 0) in
       if k0 >= succ_k0 then err "bottom level not sorted at key %d" k0;
       for i = 1 to k - 1 do
-        let ki = pk n (Node.o_keys + i) in
+        let ki = pk n (Node.o_key i) in
         if ki <> Node.empty_key then begin
           if ki <= k0 then err "internal key %d <= first key %d" ki k0;
           if ki >= succ_k0 then err "internal key %d >= next first key %d" ki succ_k0
@@ -827,7 +941,7 @@ let check_invariants t =
   for level = 1 to t.cfg.Config.max_height - 1 do
     let rec level_keys n acc lv =
       if Riv.equal n t.tail then List.rev acc
-      else level_keys (nxt n lv) (pk n Node.o_keys :: acc) lv
+      else level_keys (nxt n lv) (pk n Node.o_anchor :: acc) lv
     in
     let upper = level_keys (nxt t.head level) [] level in
     let lower = level_keys (nxt t.head 0) [] 0 in
@@ -849,14 +963,21 @@ let check_invariants t =
 
    What a power failure right now would leave behind, checked structurally:
    - the bottom level reaches the tail with strictly increasing first keys,
-     every hop landing on a node-kind block (no dangling/cyclic chain);
+     every hop landing on a node-kind block (no dangling/cyclic chain), and
+     each node's header anchor agreeing with its slot-0 key;
    - every non-null tower pointer of a reachable node (and of the head)
      targets the tail or a node on the bottom level — torn tower builds
      legitimately leave null slots below the recorded height, and lazy
      repair may leave a level skipping nodes, but a pointer into a free or
      unregistered block is always corruption;
-   - the allocator accounts for every block (Block_alloc.audit): reachable,
-     free-listed, or excused by a thread's allocation/provision log.
+   - truncated-block discipline: a node in a short block never records a
+     height above the short cutoff, and no node (either class) carries a
+     non-null next word above its recorded height — a stray word there
+     would be read as a tower pointer if the height ever grew, and in a
+     short block it would alias past the block's end;
+   - the allocator accounts for every block of both classes
+     (Block_alloc.audit): reachable, free-listed, or excused by a thread's
+     allocation/provision log.
 
    Sound only with [reclaim_empty_nodes] off: retire lists are DRAM-only
    and their nodes would read as leaks. *)
@@ -867,16 +988,19 @@ let audit_persistent t =
     let errs = ref [] in
     let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
     let ppk obj i = Mem.peek_field_persistent t.mem obj i in
-    let nxt n level = Riv.of_word (Node.unmark (ppk n (t.ly.Node.o_next + level))) in
+    let nxt n level = Riv.of_word (Node.unmark (ppk n (Node.o_next t.ly level))) in
     let resolvable p = Mem.try_resolve t.mem p <> None in
     (* pass 1: bottom-level walk, collecting the reachable-node set *)
     let on_bottom = Hashtbl.create 256 in
     let bound =
-      let chunks = ref 0 in
+      let blocks = ref 0 in
       for pool = 0 to Mem.n_pools t.mem - 1 do
-        chunks := !chunks + List.length (Mem.persistent_chunks t.mem ~pool)
+        List.iter
+          (fun (_id, _base, cls) ->
+            blocks := !blocks + Mem.blocks_per_chunk_cls t.mem ~cls)
+          (Mem.persistent_chunks t.mem ~pool)
       done;
-      (!chunks * Mem.blocks_per_chunk t.mem) + 16
+      !blocks + 16
     in
     let rec walk n prev_k0 steps =
       if Riv.is_null n then
@@ -892,7 +1016,10 @@ let audit_persistent t =
             kind
         else begin
           Hashtbl.replace on_bottom (Riv.to_word n) ();
-          let k0 = ppk n Node.o_keys in
+          let k0 = ppk n (Node.o_key 0) in
+          if ppk n Node.o_anchor <> k0 then
+            err "node %a: header anchor %d disagrees with slot-0 key %d" Riv.pp n
+              (ppk n Node.o_anchor) k0;
           if k0 <= prev_k0 then
             err "bottom level: first keys not strictly increasing (%d after %d)" k0
               prev_k0;
@@ -901,12 +1028,15 @@ let audit_persistent t =
       end
     in
     walk (nxt t.head 0) Node.head_key 0;
-    (* pass 2: tower pointers of the head and of every reachable node *)
-    let check_towers n label =
-      let h = ppk n Node.o_height in
-      if h < 1 || h > t.cfg.Config.max_height then
-        err "%s: height %d out of range" label h
-      else
+    (* pass 2: tower pointers of the head and of every reachable node. The
+       tower cap comes from the node's block class (registered per chunk),
+       not from the node's own height word — that is the point: a short
+       block claiming a tall height, or a stray word between the height
+       and the cap, is the corruption being hunted. *)
+    let check_towers n label ~cap =
+      let h = Node.hs_height (ppk n Node.o_hs) in
+      if h < 1 || h > cap then err "%s: height %d out of range (cap %d)" label h cap
+      else begin
         for level = 1 to h - 1 do
           let p = nxt n level in
           if not (Riv.is_null p || Riv.equal p t.tail) then
@@ -915,13 +1045,24 @@ let audit_persistent t =
             else if not (Hashtbl.mem on_bottom (Riv.to_word p)) then
               err "%s: level-%d pointer %a targets a block not on the bottom level"
                 label level Riv.pp p
+        done;
+        for level = max 1 h to cap - 1 do
+          if ppk n (Node.o_next t.ly level) <> 0 then
+            err "%s: non-null next word at level %d above height %d" label level h
         done
+      end
     in
-    check_towers t.head "head sentinel";
+    check_towers t.head "head sentinel" ~cap:t.cfg.Config.max_height;
     Hashtbl.iter
       (fun w () ->
         let n = Riv.of_word w in
-        check_towers n (Fmt.str "node %a (key %d)" Riv.pp n (ppk n Node.o_keys)))
+        let cls = Mem.chunk_class t.mem ~pool:(Riv.pool n) ~chunk:(Riv.chunk n) in
+        let cap =
+          if cls = 1 then t.ly.Node.short_cutoff else t.cfg.Config.max_height
+        in
+        check_towers n
+          (Fmt.str "node %a (key %d)" Riv.pp n (ppk n (Node.o_key 0)))
+          ~cap)
       on_bottom;
     (* pass 3: allocator accounting against the reachable set *)
     let alloc_errs =
@@ -941,7 +1082,7 @@ let audit_persistent t =
    mutation (e.g. empty). *)
 let corrupt t what =
   let first =
-    Riv.of_word (Node.unmark (Mem.peek_field t.mem t.head (t.ly.Node.o_next + 0)))
+    Riv.of_word (Node.unmark (Mem.peek_field t.mem t.head Node.o_next0))
   in
   match what with
   | "lose_key" ->
@@ -954,12 +1095,12 @@ let corrupt t what =
             if i >= k then
               hunt
                 (Riv.of_word
-                   (Node.unmark (Mem.peek_field t.mem n (t.ly.Node.o_next + 0))))
+                   (Node.unmark (Mem.peek_field t.mem n Node.o_next0)))
             else if
-              Mem.peek_field t.mem n (Node.o_keys + i) <> Node.empty_key
-              && Mem.peek_field t.mem n (t.ly.Node.o_values + i) <> Node.tombstone
+              Mem.peek_field t.mem n (Node.o_key i) <> Node.empty_key
+              && Mem.peek_field t.mem n (Node.o_value i) <> Node.tombstone
             then begin
-              Mem.poke_field t.mem n (t.ly.Node.o_values + i) Node.tombstone;
+              Mem.poke_field t.mem n (Node.o_value i) Node.tombstone;
               true
             end
             else slot (i + 1)
@@ -972,12 +1113,16 @@ let corrupt t what =
       (* bend the first reachable node's level-1 next at a free-list block *)
       if Riv.is_null first || Riv.equal first t.tail then false
       else begin
-        let victim = Mem.peek_ptr t.mem (Mem.arena_head_ptr ~pool:0 ~arena:0) 0 in
+        let victim =
+          Mem.peek_ptr t.mem (Mem.arena_head_ptr ~pool:0 ~arena:0 ()) 0
+        in
         if Riv.is_null victim then false
         else begin
-          Mem.poke_ptr t.mem first (t.ly.Node.o_next + 1) victim;
-          if Mem.peek_field t.mem first Node.o_height < 2 then
-            Mem.poke_field t.mem first Node.o_height 2;
+          Mem.poke_ptr t.mem first (Node.o_next t.ly 1) victim;
+          (let hs = Mem.peek_field t.mem first Node.o_hs in
+           if Node.hs_height hs < 2 then
+             Mem.poke_field t.mem first Node.o_hs
+               (Node.pack_hs ~height:2 ~sorted:(Node.hs_sorted hs)));
           true
         end
       end

@@ -85,8 +85,17 @@ let machine t = Pmem.machine t.pmem
 let make_upskiplist ?(cfg = Upskiplist.Config.default) ?(n_arenas = 8) sys =
   let pmem = make_pmem sys in
   let block_words = Upskiplist.Skiplist.required_block_words cfg in
+  let short_block_words =
+    (* the short class is only worth a block class of its own if it is
+       actually smaller once line-rounded *)
+    if cfg.Upskiplist.Config.short_cutoff > 0 then
+      let sw = Upskiplist.Skiplist.required_short_block_words cfg in
+      if sw < block_words then sw else 0
+    else 0
+  in
   let mem =
-    Mem.create ~pmem ~chunk_words:(64 * block_words) ~block_words ~n_arenas
+    Mem.create ~short_block_words ~pmem ~chunk_words:(64 * block_words)
+      ~block_words ~n_arenas ()
   in
   Mem.format mem;
   let sl =
@@ -119,7 +128,7 @@ let make_upskiplist ?(cfg = Upskiplist.Config.default) ?(n_arenas = 8) sys =
 let make_bztree ?(leaf_capacity = 64) ?(fanout = 16) ?(n_descriptors = 500_000)
     sys =
   let pmem = make_pmem sys in
-  let mem = Mem.create ~pmem ~chunk_words:(1 lsl 14) ~block_words:8 ~n_arenas:1 in
+  let mem = Mem.create ~pmem ~chunk_words:(1 lsl 14) ~block_words:8 ~n_arenas:1 () in
   Mem.format mem;
   let pmw = Pmwcas.create_poked ~mem ~pool:0 ~n_descriptors in
   let bz =
@@ -146,7 +155,7 @@ let make_bztree ?(leaf_capacity = 64) ?(fanout = 16) ?(n_descriptors = 500_000)
 
 let make_pmdk_list ?(max_height = 24) sys =
   let pmem = make_pmem sys in
-  let mem = Mem.create ~pmem ~chunk_words:(1 lsl 14) ~block_words:8 ~n_arenas:1 in
+  let mem = Mem.create ~pmem ~chunk_words:(1 lsl 14) ~block_words:8 ~n_arenas:1 () in
   Mem.format mem;
   let tx = Pmdk.Tx.create_poked ~mem ~max_threads:sys.max_threads in
   let sl =

@@ -2,6 +2,9 @@
 
    Memory within chunks is divided into fixed-size blocks linked into
    per-arena lock-free free lists (one set of arenas per pool/NUMA node).
+   Blocks come in up to two size classes (Mem: tall = class 0, short =
+   class 1, verlib-style); each class has its own chunks and free lists,
+   and every log entry that can name a chunk also records its class.
    Allocation pops from the head; deallocation appends at the tail. Before a
    block is popped, the allocating thread persists a single-cache-line log
    (LogChangeAttempt) naming the block, the insertion point and the key, so
@@ -36,6 +39,7 @@ let clog_epoch = 8
 let clog_state = 9
 let clog_pool = 10
 let clog_chunk = 11
+let clog_cls = 12
 let cstate_none = 0
 let cstate_carving = 1
 let cstate_carved = 2
@@ -52,11 +56,11 @@ let obs_event ~tid id arg =
 (* ---- Function 6: LinkInTail ------------------------------------------- *)
 
 (* Append the chain [first..last] (already internally linked, last.next =
-   null) to arena [arena] of [pool]. Helps past a stale tail pointer from a
-   previous epoch, which is what keeps deallocation deadlock-free across
-   crashes. *)
-let link_in_tail t ~pool ~arena ~first ~last =
-  let tail_slot = Mem.arena_tail_ptr ~pool ~arena in
+   null) to class [cls]'s arena [arena] of [pool]. Helps past a stale tail
+   pointer from a previous epoch, which is what keeps deallocation
+   deadlock-free across crashes. *)
+let link_in_tail t ~pool ~cls ~arena ~first ~last =
+  let tail_slot = Mem.arena_tail_ptr ~cls ~pool ~arena () in
   let rec attach () =
     let current_tail = Mem.read_ptr t tail_slot 0 in
     if Mem.cas_ptr t current_tail Mem.hdr_next ~expected:Riv.null ~desired:first
@@ -82,32 +86,40 @@ let link_in_tail t ~pool ~arena ~first ~last =
   ignore (Mem.cas_ptr t tail_slot 0 ~expected:current_tail ~desired:last);
   Mem.persist_field t tail_slot 0
 
+(* Block class of an allocated block: its chunk's registered class (free
+   host-side lookup, like RIV resolution's chunk cache). *)
+let block_class t obj = Mem.chunk_class t ~pool:(Riv.pool obj) ~chunk:(Riv.chunk obj)
+
 (* ---- Function 5: DeleteLinkedObject ----------------------------------- *)
 
-(* Return [obj] to the free list, idempotently: safe to re-run if a previous
-   attempt (or recovery of one) was interrupted at any step. *)
+(* Return [obj] to the free list of its own block class, idempotently: safe
+   to re-run if a previous attempt (or recovery of one) was interrupted at
+   any step. *)
 let delete_linked_object t ~tid obj =
   let pool = Mem.local_pool t ~tid in
   let arena = tid mod t.Mem.n_arenas in
+  let cls = block_class t obj in
   let kind = Mem.read_field t obj Mem.hdr_kind in
   if kind = Mem.kind_node then begin
-    (* De-initialise the node so it can rejoin the free list. *)
-    for i = Mem.block_words t - 1 downto 3 do
+    (* De-initialise the node so it can rejoin the free list. The block
+       only has its class's words — never touch beyond them. *)
+    let words = Mem.class_words t ~cls in
+    for i = words - 1 downto 3 do
       Mem.write_field t obj i 0
     done;
     Mem.write_ptr t obj Mem.hdr_next Riv.null;
     Mem.write_field t obj Mem.hdr_epoch (Mem.epoch t);
     Mem.write_field t obj Mem.hdr_kind Mem.kind_free;
-    Mem.persist_range t obj ~first:0 ~words:(Mem.block_words t);
+    Mem.persist_range t obj ~first:0 ~words;
     obs_event ~tid Obs.id_free 0;
-    link_in_tail t ~pool ~arena ~first:obj ~last:obj
+    link_in_tail t ~pool ~cls ~arena ~first:obj ~last:obj
   end
   else begin
-    let tail = Mem.read_ptr t (Mem.arena_tail_ptr ~pool ~arena) 0 in
+    let tail = Mem.read_ptr t (Mem.arena_tail_ptr ~cls ~pool ~arena ()) 0 in
     if Riv.equal obj tail then () (* already linked as the tail *)
     else if Riv.is_null (Mem.read_ptr t obj Mem.hdr_next) then begin
       obs_event ~tid Obs.id_free 0;
-      link_in_tail t ~pool ~arena ~first:obj ~last:obj
+      link_in_tail t ~pool ~cls ~arena ~first:obj ~last:obj
     end
     else begin
       (* A non-null next either means the block is still (or again) in the
@@ -120,7 +132,8 @@ let delete_linked_object t ~tid obj =
         && (Riv.equal cur obj || in_list (Mem.read_ptr t cur Mem.hdr_next))
       in
       if
-        (not (in_list (Mem.read_ptr t (Mem.arena_head_ptr ~pool ~arena) 0)))
+        (not
+           (in_list (Mem.read_ptr t (Mem.arena_head_ptr ~cls ~pool ~arena ()) 0)))
         && (* the CAS fails if another thread re-allocated the block in the
               meantime (a fresh pop clears the next pointer immediately) *)
         Mem.cas_ptr t obj Mem.hdr_next ~expected:stale_next ~desired:Riv.null
@@ -128,7 +141,7 @@ let delete_linked_object t ~tid obj =
         Mem.write_field t obj Mem.hdr_epoch (Mem.epoch t);
         Mem.persist_field t obj Mem.hdr_next;
         obs_event ~tid Obs.id_free 0;
-        link_in_tail t ~pool ~arena ~first:obj ~last:obj
+        link_in_tail t ~pool ~cls ~arena ~first:obj ~last:obj
       end
     end
   end
@@ -170,19 +183,21 @@ let log_change_attempt t ~tid ~ops ~block ~pred ~key =
 
 (* ---- chunk-provision logging and recovery ------------------------------ *)
 
-let set_chunk_log t ~tid ~state ~pool ~chunk =
+let set_chunk_log t ~tid ~state ~pool ~cls ~chunk =
   let log = log_obj ~tid in
   Mem.write_field t log clog_epoch (Mem.epoch t);
   Mem.write_field t log clog_state state;
   Mem.write_field t log clog_pool pool;
   Mem.write_field t log clog_chunk chunk;
+  Mem.write_field t log clog_cls cls;
   Mem.persist_field t log clog_epoch
 
 (* Carve the blocks of an already-allocated chunk into a chain (idempotent
    re-run of the carving loop). *)
-let carve_blocks t ~pool ~chunk =
-  let n = Mem.blocks_per_chunk t in
-  let block i = Riv.make ~pool ~chunk ~offset:(i * t.Mem.block_words) in
+let carve_blocks t ~pool ~cls ~chunk =
+  let bw = Mem.class_words t ~cls in
+  let n = Mem.blocks_per_chunk_cls t ~cls in
+  let block i = Riv.make ~pool ~chunk ~offset:(i * bw) in
   for i = 0 to n - 1 do
     let b = block i in
     let next = if i = n - 1 then Riv.null else block (i + 1) in
@@ -198,7 +213,7 @@ let carve_blocks t ~pool ~chunk =
    has block0.next = block1; a pop clears next immediately and conversion
    to a node changes the kind, so an unlinked carved chunk is exactly
    "kind free, next non-null, absent from the free list". *)
-let chunk_linked t ~pool ~arena ~chunk =
+let chunk_linked t ~pool ~cls ~arena ~chunk =
   let block0 = Riv.make ~pool ~chunk ~offset:0 in
   if Mem.read_field t block0 Mem.hdr_kind <> Mem.kind_free then true
   else if Riv.is_null (Mem.read_ptr t block0 Mem.hdr_next) then true
@@ -207,7 +222,7 @@ let chunk_linked t ~pool ~arena ~chunk =
       (not (Riv.is_null cur))
       && (Riv.equal cur block0 || in_list (Mem.read_ptr t cur Mem.hdr_next))
     in
-    in_list (Mem.read_ptr t (Mem.arena_head_ptr ~pool ~arena) 0)
+    in_list (Mem.read_ptr t (Mem.arena_head_ptr ~cls ~pool ~arena ()) 0)
   end
 
 (* Resume a chunk provision interrupted by a crash in a previous epoch. *)
@@ -218,44 +233,57 @@ let recover_chunk_provision t ~tid =
   then begin
     let pool = Mem.read_field t log clog_pool in
     let chunk = Mem.read_field t log clog_chunk in
+    let cls = Mem.read_field t log clog_cls in
     let arena = tid mod t.Mem.n_arenas in
     if state = cstate_carving then begin
-      (* blocks may be half written and are certainly unreachable: re-carve
-         from scratch and link the chain in *)
-      let first, last = carve_blocks t ~pool ~chunk in
-      link_in_tail t ~pool ~arena ~first ~last
+      (* The log is written before the registry publish, so the crash may
+         have landed between them: re-register first (chunk bases are a pure
+         function of the id, so this is deterministic), then re-carve from
+         scratch — blocks may be half written and are certainly
+         unreachable — and link the chain in. *)
+      Mem.ensure_chunk_registered t ~pool ~cls ~chunk;
+      let first, last = carve_blocks t ~pool ~cls ~chunk in
+      link_in_tail t ~pool ~cls ~arena ~first ~last
     end
-    else if not (chunk_linked t ~pool ~arena ~chunk) then begin
+    else if not (chunk_linked t ~pool ~cls ~arena ~chunk) then begin
       (* fully carved but never published *)
-      let n = Mem.blocks_per_chunk t in
+      let bw = Mem.class_words t ~cls in
+      let n = Mem.blocks_per_chunk_cls t ~cls in
       let first = Riv.make ~pool ~chunk ~offset:0 in
-      let last = Riv.make ~pool ~chunk ~offset:((n - 1) * t.Mem.block_words) in
-      link_in_tail t ~pool ~arena ~first ~last
+      let last = Riv.make ~pool ~chunk ~offset:((n - 1) * bw) in
+      link_in_tail t ~pool ~cls ~arena ~first ~last
     end
   end;
-  if state <> cstate_none then set_chunk_log t ~tid ~state:cstate_none ~pool:0 ~chunk:0
+  if state <> cstate_none then
+    set_chunk_log t ~tid ~state:cstate_none ~pool:0 ~cls:0 ~chunk:0
 
 (* ---- Function 4: MakeLinkedObject (allocation half) -------------------- *)
 
-(* Pop a raw block from the caller's arena, logging the attempt first. The
-   caller initialises it as a node and persists it. *)
-let alloc_block t ~tid ~ops ~pred ~key =
+(* Pop a raw block of class [cls] from the caller's arena, logging the
+   attempt first. The caller initialises it as a node and persists it. *)
+let alloc_block ?(cls = 0) t ~tid ~ops ~pred ~key =
   let pool = Mem.local_pool t ~tid in
   let arena = tid mod t.Mem.n_arenas in
-  let head_slot = Mem.arena_head_ptr ~pool ~arena in
+  let head_slot = Mem.arena_head_ptr ~cls ~pool ~arena () in
   recover_chunk_provision t ~tid;
   let rec loop () =
     let new_block = Mem.read_ptr t head_slot 0 in
     let next_block = Mem.read_ptr t new_block Mem.hdr_next in
     if Riv.is_null next_block then begin
       (* Free list nearly empty: provision a fresh chunk under the
-         chunk-provision log so a crash cannot leak it. *)
-      let id, _base = Mem.allocate_chunk t ~pool in
-      set_chunk_log t ~tid ~state:cstate_carving ~pool ~chunk:id;
-      let first, last = carve_blocks t ~pool ~chunk:id in
-      set_chunk_log t ~tid ~state:cstate_carved ~pool ~chunk:id;
-      link_in_tail t ~pool ~arena ~first ~last;
-      set_chunk_log t ~tid ~state:cstate_none ~pool:0 ~chunk:0;
+         chunk-provision log so a crash cannot leak it. The log is written
+         by [allocate_chunk] between the durable bump advance and the
+         registry publish, so there is no instant where a chunk exists
+         without a durable log naming it. *)
+      let id, _base =
+        Mem.allocate_chunk ~cls t ~pool
+          ~log:(fun id ->
+            set_chunk_log t ~tid ~state:cstate_carving ~pool ~cls ~chunk:id)
+      in
+      let first, last = carve_blocks t ~pool ~cls ~chunk:id in
+      set_chunk_log t ~tid ~state:cstate_carved ~pool ~cls ~chunk:id;
+      link_in_tail t ~pool ~cls ~arena ~first ~last;
+      set_chunk_log t ~tid ~state:cstate_none ~pool:0 ~cls:0 ~chunk:0;
       obs_event ~tid Obs.id_chunk id;
       loop ()
     end
@@ -277,14 +305,23 @@ let alloc_block t ~tid ~ops ~pred ~key =
   in
   loop ()
 
-(* Number of blocks currently in an arena's free list (test/debug helper;
-   uses direct peeks, no simulated cost). *)
-let free_list_length t ~pool ~arena =
+(* Number of blocks currently in an arena's free list(s) (test/debug
+   helper; uses direct peeks, no simulated cost). [cls] restricts the count
+   to one block class; omitted, both classes are summed. *)
+let free_list_length ?cls t ~pool ~arena =
   let rec count cur acc =
     if Riv.is_null cur then acc
     else count (Mem.peek_ptr t cur Mem.hdr_next) (acc + 1)
   in
-  count (Mem.peek_ptr t (Mem.arena_head_ptr ~pool ~arena) 0) 0
+  let one cls = count (Mem.peek_ptr t (Mem.arena_head_ptr ~cls ~pool ~arena ()) 0) 0 in
+  match cls with
+  | Some cls -> one cls
+  | None ->
+      let acc = ref 0 in
+      for cls = 0 to Mem.n_classes t - 1 do
+        acc := !acc + one cls
+      done;
+      !acc
 
 (* ---- persistent-heap audit (host side, peeks only) ---------------------- *)
 
@@ -292,10 +329,12 @@ let free_list_length t ~pool ~arena =
    image: each must be on a free list, reachable from the structure
    ([reachable], supplied by the structure's own persistent walk), or named
    by a thread's allocation / chunk-provision log — the paper's "a crash
-   cannot leak the block" claim, checked literally. Also flags the converse
-   corruption (a freed block still reachable) and dangling or cyclic free
-   lists. Log entries excuse their block regardless of epoch (a stale entry
-   over-approximates, which can hide a leak but never fabricates one).
+   cannot leak the block" claim, checked literally, per block class (a
+   leaked short block is as much a leak as a tall one). Also flags the
+   converse corruption (a freed block still reachable) and dangling or
+   cyclic free lists. Log entries excuse their block regardless of epoch (a
+   stale entry over-approximates, which can hide a leak but never
+   fabricates one).
 
    Requires physical reclamation to be off: retired-but-unfreed nodes live
    only in DRAM retire lists and would read as leaks. *)
@@ -306,24 +345,29 @@ let audit t ~reachable =
   let per_pool_chunks =
     Array.init pools (fun pool -> Mem.persistent_chunks t ~pool)
   in
-  let chunk_base = Hashtbl.create 64 in
+  (* chunk -> (base, class); block geometry below is always derived from
+     the chunk's registered class *)
+  let chunk_info = Hashtbl.create 64 in
   let total_blocks = ref 0 in
   Array.iteri
     (fun pool chunks ->
       List.iter
-        (fun (id, base) ->
-          Hashtbl.replace chunk_base (pool, id) base;
-          total_blocks := !total_blocks + Mem.blocks_per_chunk t)
+        (fun (id, base, cls) ->
+          Hashtbl.replace chunk_info (pool, id) (base, cls);
+          total_blocks := !total_blocks + Mem.blocks_per_chunk_cls t ~cls)
         chunks)
     per_pool_chunks;
   (* A reference is a valid block boundary iff it names a registered chunk
-     at a block-aligned in-range offset. *)
+     at a block-aligned (for that chunk's class) in-range offset. *)
   let valid_block p =
     (not (Riv.is_null p))
     && Riv.chunk p <> 0
-    && Hashtbl.mem chunk_base (Riv.pool p, Riv.chunk p)
-    && Riv.offset p mod t.Mem.block_words = 0
-    && Riv.offset p < t.Mem.chunk_words
+    &&
+    match Hashtbl.find_opt chunk_info (Riv.pool p, Riv.chunk p) with
+    | None -> false
+    | Some (_base, cls) ->
+        Riv.offset p mod Mem.class_words t ~cls = 0
+        && Riv.offset p < t.Mem.chunk_words
   in
   let pk obj i = Mem.peek_field_persistent t obj i in
   (* Thread logs: a valid allocation log excuses its block; a non-idle
@@ -343,38 +387,46 @@ let audit t ~reachable =
     if log_word tid clog_state <> cstate_none then
       Hashtbl.replace excused_chunks (log_word tid clog_pool, log_word tid clog_chunk) ()
   done;
-  (* Free-list membership: walk every arena chain in the persistent image.
-     Chains share tails across epochs, so a previously visited element ends
-     the walk (and doubles as cycle protection alongside the step bound). *)
+  (* Free-list membership: walk every arena chain of every class in the
+     persistent image. Chains share tails across epochs, so a previously
+     visited element ends the walk (and doubles as cycle protection
+     alongside the step bound). *)
   let on_freelist = Hashtbl.create 256 in
   let bound = !total_blocks + 16 in
   for pool = 0 to pools - 1 do
-    for arena = 0 to t.Mem.n_arenas - 1 do
-      let head =
-        Riv.of_word (Mem.peek_root_persistent t ~pool ~word:(Mem.arena_heads + arena))
-      in
-      let rec walk p steps =
-        if Riv.is_null p then ()
-        else if steps > bound then
-          err "free list pool %d arena %d: cycle or runaway chain" pool arena
-        else if not (valid_block p) then
-          err "free list pool %d arena %d: dangling element %a" pool arena Riv.pp p
-        else if not (Hashtbl.mem on_freelist (Riv.to_word p)) then begin
-          Hashtbl.replace on_freelist (Riv.to_word p) ();
-          walk (Riv.of_word (pk p Mem.hdr_next)) (steps + 1)
-        end
-      in
-      walk head 0
+    for cls = 0 to Mem.n_classes t - 1 do
+      for arena = 0 to t.Mem.n_arenas - 1 do
+        let head =
+          Riv.of_word
+            (Mem.peek_root_persistent t ~pool
+               ~word:(Mem.arena_heads + (cls * Mem.max_arenas) + arena))
+        in
+        let rec walk p steps =
+          if Riv.is_null p then ()
+          else if steps > bound then
+            err "free list pool %d class %d arena %d: cycle or runaway chain"
+              pool cls arena
+          else if not (valid_block p) then
+            err "free list pool %d class %d arena %d: dangling element %a"
+              pool cls arena Riv.pp p
+          else if not (Hashtbl.mem on_freelist (Riv.to_word p)) then begin
+            Hashtbl.replace on_freelist (Riv.to_word p) ();
+            walk (Riv.of_word (pk p Mem.hdr_next)) (steps + 1)
+          end
+        in
+        walk head 0
+      done
     done
   done;
   (* Every block of every registered (and unexcused) chunk must be
      accounted for. *)
   for pool = 0 to pools - 1 do
     List.iter
-      (fun (id, _base) ->
-        if not (Hashtbl.mem excused_chunks (pool, id)) then
-          for i = 0 to Mem.blocks_per_chunk t - 1 do
-            let b = Riv.make ~pool ~chunk:id ~offset:(i * t.Mem.block_words) in
+      (fun (id, _base, cls) ->
+        if not (Hashtbl.mem excused_chunks (pool, id)) then begin
+          let bw = Mem.class_words t ~cls in
+          for i = 0 to Mem.blocks_per_chunk_cls t ~cls - 1 do
+            let b = Riv.make ~pool ~chunk:id ~offset:(i * bw) in
             let w = Riv.to_word b in
             let kind = pk b Mem.hdr_kind in
             let listed = Hashtbl.mem on_freelist w in
@@ -390,11 +442,12 @@ let audit t ~reachable =
               in
               if not ok then
                 err
-                  "leaked block %a (pool %d chunk %d): kind %d, unreachable, \
-                   off-freelist, unlogged"
-                  Riv.pp b pool id kind
+                  "leaked block %a (pool %d chunk %d class %d): kind %d, \
+                   unreachable, off-freelist, unlogged"
+                  Riv.pp b pool id cls kind
             end
-          done)
+          done
+        end)
       per_pool_chunks.(pool)
   done;
   List.rev !errs

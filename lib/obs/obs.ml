@@ -37,7 +37,11 @@ let id_svc_enqueue = 16
 let id_svc_shed = 17
 let id_svc_batch = 18
 let id_svc_group_flush = 19
-let n_ids = 20
+let id_load_miss = 20
+let id_store_miss = 21
+let id_finger_hit = 22
+let id_finger_invalid = 23
+let n_ids = 24
 
 let names =
   [|
@@ -61,6 +65,10 @@ let names =
     "svc_shed";
     "svc_batches";
     "svc_group_flushes";
+    "load_misses";
+    "store_misses";
+    "finger_hits";
+    "finger_invalidations";
   |]
 
 let id_name id =
@@ -244,6 +252,10 @@ module Trace = struct
     | k when k = id_svc_shed -> "svc-shed"
     | k when k = id_svc_batch -> "svc-batch"
     | k when k = id_svc_group_flush -> "svc-group-flush"
+    | k when k = id_load_miss -> "load-miss"
+    | k when k = id_store_miss -> "store-miss"
+    | k when k = id_finger_hit -> "finger-hit"
+    | k when k = id_finger_invalid -> "finger-invalid"
     | k when k = k_resume -> "resume"
     | k when k = k_park -> "park"
     | k when k = k_fiber_done -> "done"

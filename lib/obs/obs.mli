@@ -66,6 +66,23 @@ val id_svc_batch : int  (** request batches dispatched by shard workers *)
 val id_svc_group_flush : int
 (** service-level group-commit fences (one per batch with upserts) *)
 
+(** Cache and traversal-locality events (the layout/finger work): *)
+
+val id_load_miss : int
+(** simulated cache misses on loads (per-fiber attribution of
+    [Pmem.counters.load_misses]) *)
+
+val id_store_miss : int
+(** simulated cache misses on stores (per-fiber attribution of
+    [Pmem.counters.store_misses]) *)
+
+val id_finger_hit : int
+(** traversals that reused a validated search finger (at most one per
+    traversal) *)
+
+val id_finger_invalid : int
+(** finger candidates rejected by epoch/bound validation *)
+
 val n_ids : int
 (** Number of counter ids; rows and snapshots have this length. *)
 

@@ -241,8 +241,14 @@ let put_access_latency t ~tid ~store a =
   if cache_access t ~tid a then put_jittered t lat.cache_hit_ns
   else begin
     let c = t.counters in
-    if store then c.store_misses <- c.store_misses + 1
-    else c.load_misses <- c.load_misses + 1;
+    if store then begin
+      c.store_misses <- c.store_misses + 1;
+      Obs.bump ~tid Obs.id_store_miss
+    end
+    else begin
+      c.load_misses <- c.load_misses + 1;
+      Obs.bump ~tid Obs.id_load_miss
+    end;
     let now = Array.unsafe_get t.now_cell 0 in
     let node = home_node t a in
     let q = queue_delay t.read_free_at node ~now ~service:lat.read_service_ns in

@@ -179,7 +179,7 @@ let test_crash_unreachable_block_reclaimed () =
     true
     ((* the reclaimed block sits at the tail of the free list *)
      let pool = Mem.local_pool fx.mem ~tid:0 in
-     let tail = Mem.peek_ptr fx.mem (Mem.arena_tail_ptr ~pool ~arena:0) 0 in
+     let tail = Mem.peek_ptr fx.mem (Mem.arena_tail_ptr ~pool ~arena:0 ()) 0 in
      Riv.equal tail !lost)
 
 let test_crash_reachable_block_kept () =
@@ -258,7 +258,7 @@ let test_crash_during_chunk_provision () =
           for i = 1 to 3 do
             post := alloc fx ~tid ~key:(100 + i) :: !post
           done);
-      let total = Mem.chunks_allocated fx.mem * Mem.blocks_per_chunk fx.mem in
+      let total = Mem.total_blocks fx.mem in
       let free =
         let acc = ref 0 in
         for pool = 0 to Mem.n_pools fx.mem - 1 do

@@ -43,6 +43,23 @@ let test_upskiplist_small_nodes_campaign () =
   let cfg = { Upskiplist.Config.default with keys_per_node = 4 } in
   campaign "UPSkipList/K4" (fun () -> Harness.Kv.make_upskiplist ~cfg fast_sys) ~trials:3
 
+(* Layout grid: the crash campaign must hold on both block classes and with
+   fingers on/off. The default config is the full PR 6 layout (short blocks
+   + fingers); these pin the other corners of the grid. *)
+let tall_only_cfg =
+  { Upskiplist.Config.default with short_cutoff = 0; finger_cache = false }
+
+let test_upskiplist_tall_only_campaign () =
+  campaign "UPSkipList/tall-only"
+    (fun () -> Harness.Kv.make_upskiplist ~cfg:tall_only_cfg fast_sys)
+    ~trials:3
+
+let test_upskiplist_short_no_finger_campaign () =
+  let cfg = { Upskiplist.Config.default with finger_cache = false } in
+  campaign "UPSkipList/short-nofinger"
+    (fun () -> Harness.Kv.make_upskiplist ~cfg fast_sys)
+    ~trials:3
+
 let test_bztree_campaign () =
   campaign "BzTree"
     (fun () -> Harness.Kv.make_bztree ~n_descriptors:16_384 fast_sys)
@@ -126,6 +143,32 @@ let test_upskiplist_multi_crash_campaign () =
     s.Fault.failures;
   check_int "no failing trials" 0 (List.length s.Fault.failures)
 
+(* The same crash-point grid replayed over the tall-only layout: chunk
+   provisioning, split recovery and the heap audit must stay clean when
+   every node carries a full-height next array and no finger is cached. *)
+let test_tall_only_multi_crash_campaign () =
+  let c =
+    {
+      Fault.base = { adversarial_base with depth = 2; rounds = 2 };
+      grid = { Fault.origin = 4_000; stride = 3_000; points = 2; jitter = 400 };
+      draws = 2;
+    }
+  in
+  let s =
+    Fault.run_campaign
+      ~make:(fun () -> Harness.Kv.make_upskiplist ~cfg:tall_only_cfg fast_sys)
+      c
+  in
+  check_int "every trial crashed" s.Fault.trials s.Fault.crashed_trials;
+  check_bool "audits ran after every completed recovery" true
+    (s.Fault.audit_passes >= s.Fault.trials);
+  List.iter
+    (fun ((spec : Fault.spec), r) ->
+      Fmt.epr "failing replay: %s@." (Fault.spec_to_string spec);
+      expect_clean "UPSkipList/tall-only multi-crash" r)
+    s.Fault.failures;
+  check_int "no failing trials" 0 (List.length s.Fault.failures)
+
 (* BzTree's recovery fiber does real work (PMwCAS descriptor scan), so the
    depth-2 adversary actually crashes recovery itself: more power failures
    than trials. *)
@@ -156,6 +199,9 @@ let () =
           slow_case "bztree x4" test_bztree_campaign;
           slow_case "pmdk x4" test_pmdk_campaign;
           slow_case "upskiplist striped x3" test_striped_campaign;
+          slow_case "upskiplist tall-only x3" test_upskiplist_tall_only_campaign;
+          slow_case "upskiplist short, no finger x3"
+            test_upskiplist_short_no_finger_campaign;
         ] );
       ( "adversarial",
         [
@@ -163,6 +209,8 @@ let () =
             test_subset_adversary_draws;
           slow_case "multi-crash depth-2 campaign (upskiplist)"
             test_upskiplist_multi_crash_campaign;
+          slow_case "multi-crash depth-2 campaign (tall-only layout)"
+            test_tall_only_multi_crash_campaign;
           slow_case "crash during recovery (bztree)"
             test_bztree_crash_during_recovery;
         ] );

@@ -44,27 +44,27 @@ let test_sorted_prefix_recorded () =
       done);
   (* at least one split happened; some node must carry a sorted prefix *)
   let mem = SL.mem fx.sl in
-  let ly = Upskiplist.Node.layout sorted_cfg in
+  let _ly = Upskiplist.Node.layout sorted_cfg in
   let rec walk n found =
     if Memory.Riv.equal n (SL.tail fx.sl) then found
     else begin
-      let sorted = Mem.peek_field mem n Upskiplist.Node.o_sorted in
+      let sorted = Upskiplist.Node.hs_sorted (Mem.peek_field mem n Upskiplist.Node.o_hs) in
       let found = found || sorted > 1 in
       (* prefix really is ascending and null-free *)
       for i = 0 to sorted - 2 do
-        let a = Mem.peek_field mem n (Upskiplist.Node.o_keys + i) in
-        let b = Mem.peek_field mem n (Upskiplist.Node.o_keys + i + 1) in
+        let a = Mem.peek_field mem n (Upskiplist.Node.o_key i) in
+        let b = Mem.peek_field mem n (Upskiplist.Node.o_key (i + 1)) in
         check_bool "prefix ascending" true (a < b && a <> 0 && b <> 0)
       done;
       walk
         (Memory.Riv.of_word
-           (Upskiplist.Node.unmark (Mem.peek_field mem n (ly.Upskiplist.Node.o_next + 0))))
+           (Upskiplist.Node.unmark (Mem.peek_field mem n Upskiplist.Node.o_next0)))
         found
     end
   in
   let first =
     Memory.Riv.of_word
-      (Mem.peek_field mem (SL.head fx.sl) (ly.Upskiplist.Node.o_next + 0))
+      (Mem.peek_field mem (SL.head fx.sl) Upskiplist.Node.o_next0)
   in
   check_bool "some sorted prefix exists" true (walk first false);
   check_no_invariant_errors fx.sl
@@ -106,9 +106,123 @@ let test_sorted_crash_recovery () =
                (SL.search fx.sl ~tid k)))
         acked)
 
+(* ---- cache-conscious layout (height-truncated blocks, fingers) ------------- *)
+
+module Node = Upskiplist.Node
+module Riv = Memory.Riv
+
+(* Bottom-level walk over the volatile image (host side). *)
+let bottom_nodes fx =
+  let step n = Riv.of_word (Node.unmark (Mem.peek_field fx.mem n Node.o_next0)) in
+  let tail = SL.tail fx.sl in
+  let rec go n acc =
+    if Riv.is_null n || Riv.equal n tail then List.rev acc
+    else go (step n) (n :: acc)
+  in
+  go (step (SL.head fx.sl)) []
+
+let churn fx ~seed ~ops ~keyspace =
+  run1 fx.pmem (fun ~tid ->
+      let rng = Sim.Rng.create seed in
+      for _ = 1 to ops do
+        let k = 1 + Sim.Rng.int rng keyspace in
+        match Sim.Rng.int rng 4 with
+        | 0 -> ignore (SL.remove fx.sl ~tid k)
+        | 1 -> ignore (SL.search fx.sl ~tid k)
+        | _ -> ignore (SL.upsert fx.sl ~tid k (1 + Sim.Rng.int rng 10_000))
+      done)
+
+let test_layout_equivalent_results () =
+  (* neither block truncation nor the finger cache may change observable
+     behaviour: all four corners of the ablation agree on the final state *)
+  let run cfg =
+    let fx = make_skiplist ~cfg ~seed:5 () in
+    churn fx ~seed:23 ~ops:600 ~keyspace:200;
+    SL.to_alist fx.sl
+  in
+  let base = Config.default in
+  let expect =
+    run { base with Config.short_cutoff = 0; finger_cache = false }
+  in
+  check_pairs "trunc only" expect (run { base with Config.finger_cache = false });
+  check_pairs "finger only" expect (run { base with Config.short_cutoff = 0 });
+  check_pairs "full layout" expect (run base)
+
+let layout_cfg = { Config.default with keys_per_node = 4 }
+
+let test_short_class_matches_height () =
+  (* every node's block class agrees with its tower height: short blocks
+     hold exactly the towers of height <= short_cutoff *)
+  let fx = make_skiplist ~cfg:layout_cfg ~seed:7 () in
+  churn fx ~seed:31 ~ops:900 ~keyspace:300;
+  let cutoff = layout_cfg.Config.short_cutoff in
+  let short = ref 0 and tall = ref 0 in
+  List.iter
+    (fun n ->
+      let h = Node.hs_height (Mem.peek_field fx.mem n Node.o_hs) in
+      let cls =
+        Mem.chunk_class fx.mem ~pool:(Riv.pool n) ~chunk:(Riv.chunk n)
+      in
+      if cls = 1 then incr short else incr tall;
+      check_bool
+        (Fmt.str "node %a: class %d agrees with height %d (cutoff %d)" Riv.pp n
+           cls h cutoff)
+        true
+        (if cls = 1 then h <= cutoff else h > cutoff))
+    (bottom_nodes fx);
+  check_bool "saw short-class nodes" true (!short > 0);
+  check_bool "saw tall-class nodes" true (!tall > 0)
+
+let test_audit_catches_overheight_short_block () =
+  (* the persistent-heap auditor caps each tower by its block class, not by
+     the node's own height word: a short block claiming a tall height is
+     corruption and must be reported *)
+  let fx = make_skiplist ~cfg:layout_cfg ~seed:9 () in
+  churn fx ~seed:41 ~ops:600 ~keyspace:200;
+  check_int "audit clean before corruption" 0
+    (List.length (SL.audit_persistent fx.sl));
+  let victim =
+    List.find
+      (fun n ->
+        Mem.chunk_class fx.mem ~pool:(Riv.pool n) ~chunk:(Riv.chunk n) = 1)
+      (bottom_nodes fx)
+  in
+  let hs = Mem.peek_field fx.mem victim Node.o_hs in
+  Mem.poke_field fx.mem victim Node.o_hs
+    (Node.pack_hs
+       ~height:(layout_cfg.Config.short_cutoff + 3)
+       ~sorted:(Node.hs_sorted hs));
+  check_bool "audit flags the over-height short block" true
+    (SL.audit_persistent fx.sl <> [])
+
+let test_finger_counters_deterministic () =
+  (* fingers must pay off on a monotone-ish access pattern, be invalidated
+     wholesale by a crash (epoch bump), and leave identical Obs counters on
+     identical runs — they feed the deterministic bench digests *)
+  let episode () =
+    Obs.reset ();
+    let fx = make_skiplist ~cfg:Config.default ~seed:11 () in
+    churn fx ~seed:51 ~ops:500 ~keyspace:150;
+    let hits = Obs.total Obs.id_finger_hit in
+    crash_and_reconnect fx;
+    run1 fx.pmem (fun ~tid ->
+        for k = 1 to 50 do
+          ignore (SL.search fx.sl ~tid k)
+        done);
+    let invalid = Obs.total Obs.id_finger_invalid in
+    Obs.reset ();
+    (hits, invalid)
+  in
+  let hits, invalid = episode () in
+  check_bool "fingers hit during the workload" true (hits > 0);
+  check_bool "crash invalidated the cached finger" true (invalid > 0);
+  let hits', invalid' = episode () in
+  check_int "finger hits deterministic across runs" hits hits';
+  check_int "finger invalidations deterministic across runs" invalid invalid'
+
 (* ---- physical removal + reclamation ---------------------------------------- *)
 
-let total_blocks mem = Mem.chunks_allocated mem * Mem.blocks_per_chunk mem
+let total_blocks mem = Mem.total_blocks mem
 
 let free_blocks mem =
   let acc = ref 0 in
@@ -187,7 +301,10 @@ let test_blocks_reused_after_reclaim () =
         done;
         SL.quiesced_drain fx.sl ~tid
       done);
-  check_bool "chunks bounded by reuse" true (Mem.chunks_allocated fx.mem <= 16)
+  (* bound = the initial carve: one chunk per (pool, arena, block class) *)
+  let initial = Mem.n_pools fx.mem * 4 * Mem.n_classes fx.mem in
+  check_bool "chunks bounded by reuse" true
+    (Mem.chunks_allocated fx.mem <= initial)
 
 let test_concurrent_remove_insert_reclaim () =
   let fx = make_skiplist ~cfg:reclaim_cfg () in
@@ -419,6 +536,15 @@ let () =
           case "concurrent" test_sorted_concurrent;
           case "crash recovery" test_sorted_crash_recovery;
           slow_case "lincheck campaign" test_sorted_lincheck_campaign;
+        ] );
+      ( "layout",
+        [
+          case "equivalent results" test_layout_equivalent_results;
+          case "block class agrees with height" test_short_class_matches_height;
+          case "audit flags over-height short block"
+            test_audit_catches_overheight_short_block;
+          case "finger counters deterministic"
+            test_finger_counters_deterministic;
         ] );
       ( "reclamation",
         [

@@ -184,11 +184,11 @@ let test_create_validation () =
     | _ -> Alcotest.fail "expected Invalid_argument"
   in
   expect_invalid (fun () ->
-      Mem.create ~pmem ~chunk_words:100 ~block_words:64 ~n_arenas:4);
+      Mem.create ~pmem ~chunk_words:100 ~block_words:64 ~n_arenas:4 ());
   expect_invalid (fun () ->
-      Mem.create ~pmem ~chunk_words:64 ~block_words:4 ~n_arenas:4);
+      Mem.create ~pmem ~chunk_words:64 ~block_words:4 ~n_arenas:4 ());
   expect_invalid (fun () ->
-      Mem.create ~pmem ~chunk_words:128 ~block_words:64 ~n_arenas:1000)
+      Mem.create ~pmem ~chunk_words:128 ~block_words:64 ~n_arenas:1000 ())
 
 let () =
   Alcotest.run "mem"

@@ -120,6 +120,34 @@ let test_crash_test_campaign_parity () =
     (digest (run 1))
     (digest (run 4))
 
+(* ---- domain-parallel lincheck -------------------------------------------- *)
+
+(* The strict-linearizability checker itself must be Pool-safe: checking a
+   batch of crash-trial histories on parallel domains must return the same
+   verdicts, in input order, as a sequential pass. *)
+let crash_histories () =
+  List.init 4 (fun i ->
+      let t =
+        Harness.Crash_test.run
+          ~make:(fun () -> Kv.make_upskiplist fast_sys)
+          ~threads:4 ~keyspace:80 ~ops_per_thread:60
+          ~crash_events:(8_000 + (3_000 * i))
+          ~seed:(900 + i) ()
+      in
+      t.Harness.Crash_test.history)
+
+let test_lincheck_pool_parity () =
+  let hs = crash_histories () in
+  let digest h =
+    List.map
+      (fun (v : Lincheck.Checker.violation) ->
+        (v.Lincheck.Checker.key, v.Lincheck.Checker.message))
+      (Lincheck.Checker.check h)
+  in
+  let run jobs = Sim.Pool.map ~jobs digest hs in
+  Alcotest.(check (list (list (pair int string))))
+    "checker verdicts identical for -j1 and -j4" (run 1) (run 4)
+
 (* ---- failure propagation -------------------------------------------------- *)
 
 exception Job_failed of int
@@ -188,6 +216,7 @@ let () =
           slow_case "fault campaign parity" test_fault_campaign_parity;
           slow_case "crash-test campaign parity"
             test_crash_test_campaign_parity;
+          slow_case "lincheck verdict parity" test_lincheck_pool_parity;
         ] );
       ( "failure",
         [ case "first failing job re-raises" test_raising_job_propagates_first ] );

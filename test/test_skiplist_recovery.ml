@@ -160,9 +160,7 @@ let test_block_conservation_after_crash () =
     done
   in
   ignore (run fx.pmem (List.init threads (fun _ -> body)));
-  let total_blocks =
-    Mem.chunks_allocated fx.mem * Mem.blocks_per_chunk fx.mem
-  in
+  let total_blocks = Mem.total_blocks fx.mem in
   let free =
     let acc = ref 0 in
     for pool = 0 to Mem.n_pools fx.mem - 1 do
@@ -199,17 +197,13 @@ let test_epoch_claim_is_per_node () =
         let e = Mem.peek_field mem n Upskiplist.Node.o_epoch in
         walk
           (Memory.Riv.of_word
-             (Mem.peek_field mem n
-                (Upskiplist.Node.o_keys
-                + (2 * (SL.config fx.sl).Config.keys_per_node))))
+             (Mem.peek_field mem n Upskiplist.Node.o_next0))
           (if e = Mem.epoch mem then acc + 1 else acc)
       end
     in
     walk
       (Memory.Riv.of_word
-         (Mem.peek_field mem (SL.head fx.sl)
-            (Upskiplist.Node.o_keys
-            + (2 * (SL.config fx.sl).Config.keys_per_node))))
+         (Mem.peek_field mem (SL.head fx.sl) Upskiplist.Node.o_next0))
       0
   in
   check_bool "some nodes recovered lazily" true (visited_current > 0)
