@@ -929,6 +929,56 @@ let svc_scaling () =
     "@.(offered load fixed at 2.0 Mops/s; goodput should rise toward it and \
      the tail collapse as shards absorb the queueing)@."
 
+(* ---- tail anatomy --------------------------------------------------------------- *)
+
+(* Power-fail tail anatomy: a 4-shard service campaign with span recording,
+   crashing shard 1 at a seeded grid of virtual times. The aggregated
+   anatomy table attributes the p99.9 cohort's excess latency to named
+   phases — recovery overlap inside the queue wait dominating. -j safe:
+   trials run on pool domains, all printing happens after collection. *)
+let tail_anatomy () =
+  Report.heading
+    "Tail anatomy — power-fail campaign, per-phase p99.9 attribution";
+  let points = if !scale == full then 6 else 3 in
+  let grid =
+    { Fault.origin = 40_000; stride = 25_000; points; jitter = 5_000 }
+  in
+  let crash_times = Fault.grid_points ~seed grid in
+  let cfg at_ns =
+    {
+      Svc.Config.default with
+      shards = 4;
+      zones = 4;
+      clients = 8;
+      requests_per_client = (if !scale == full then 400 else 200);
+      offered_mops = 4.0;
+      workload = W.a;
+      queue_cap = 64;
+      n_initial = 1_024;
+      seed;
+      spans = true;
+      crash =
+        Some
+          { Svc.Config.crash_shard = 1; crash_at_ns = float_of_int at_ns };
+    }
+  in
+  let reports =
+    Sim.Pool.map ~jobs:!jobs (fun at -> Svc.Service.run (cfg at)) crash_times
+  in
+  let merged =
+    Sim.Histogram.merge_list (List.map (fun r -> r.Svc.Slo.merged) reports)
+  in
+  match List.filter_map (fun r -> r.Svc.Slo.spans) reports with
+  | [] -> Fmt.pr "no spans recorded@."
+  | summaries ->
+      let summary = Svc.Slo.merge_summaries summaries in
+      Fmt.pr "%d trials, crash shard 1 at %s us@." (List.length crash_times)
+        (String.concat "/"
+           (List.map
+              (fun at -> Printf.sprintf "%.1f" (float_of_int at /. 1_000.0))
+              crash_times));
+      Fmt.pr "%a@." (fun fmt () -> Svc.Slo.pp_anatomy fmt ~merged summary) ()
+
 (* ---- smoke figure (CI) --------------------------------------------------------- *)
 
 (* A deliberately tiny figure for the `bench/smoke` dune alias: one
@@ -1041,6 +1091,7 @@ let experiments =
     ("ablations", ablations);
     ("layout", layout);
     ("svc-scaling", svc_scaling);
+    ("tail-anatomy", tail_anatomy);
     ("micro", micro);
     ("smoke", smoke);
   ]
@@ -1050,6 +1101,7 @@ let default_set =
   [
     "fig5.1"; "fig5.2"; "fig5.3"; "fig5.4"; "fig5.5"; "table5.4"; "workloadE";
     "table2.1"; "chapter6"; "ablations"; "layout"; "svc-scaling";
+    "tail-anatomy";
   ]
 
 (* Baseline wall-clock file: one "<experiment> <seconds>" pair per line,

@@ -120,7 +120,7 @@ let run_term =
    and metrics attribute the traced window only. Deterministic: the same
    seed produces byte-identical artifacts. *)
 let trace_cmd structure mode workload threads keys ops seed descriptors out
-    metrics_out capacity =
+    metrics_out capacity spans window_us =
   let kv = make_kv structure mode descriptors in
   let spec = Ycsb.Workload.by_label workload in
   Fmt.pr "preloading %d keys into %s...@." keys kv.Kv.name;
@@ -133,8 +133,37 @@ let trace_cmd structure mode workload threads keys ops seed descriptors out
       ~seed
   in
   Obs.Trace.stop ();
+  (* --spans: derive windowed counter tracks (ops, flushes, fences per
+     window of virtual time) from the retained events, so the exported
+     trace carries the time-series alongside the event slices *)
+  let counter_tracks =
+    if not spans then []
+    else begin
+      let w_ns = window_us *. 1_000.0 in
+      let tally kind_of =
+        let tbl = Hashtbl.create 64 in
+        let max_w = ref 0 in
+        Obs.Trace.iter_retained (fun ~ts ~tid:_ ~kind ~arg:_ ~farg:_ ->
+            if kind_of kind then begin
+              let w = max 0 (int_of_float (ts /. w_ns)) in
+              if w > !max_w then max_w := w;
+              Hashtbl.replace tbl w
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tbl w))
+            end);
+        List.init (!max_w + 1) (fun w ->
+            ( float_of_int w *. w_ns,
+              float_of_int (Option.value ~default:0 (Hashtbl.find_opt tbl w))
+            ))
+      in
+      [
+        ("ops/window", tally (fun k -> k = Obs.Trace.k_op_end));
+        ("flushes/window", tally (fun k -> k = Obs.id_flush));
+        ("fences/window", tally (fun k -> k = Obs.id_fence));
+      ]
+    end
+  in
   let oc = open_out out in
-  output_string oc (Obs.Trace.to_chrome_string ());
+  output_string oc (Obs.Trace.to_chrome_string ~counter_tracks ());
   close_out oc;
   Fmt.pr "trace: %d events (%d dropped) -> %s@." (Obs.Trace.recorded ())
     (Obs.Trace.dropped ()) out;
@@ -144,6 +173,13 @@ let trace_cmd structure mode workload threads keys ops seed descriptors out
       res.Driver.digests
   in
   Harness.Report.digest_table
+    ~latency:
+      [
+        ("read", res.Driver.read_hist);
+        ("update", res.Driver.update_hist);
+        ("insert", res.Driver.insert_hist);
+        ("scan", res.Driver.scan_hist);
+      ]
     ~title:
       (Printf.sprintf "workload %s per-op persistence cost (%s, %d threads)"
          spec.Ycsb.Workload.label kv.Kv.name threads)
@@ -175,11 +211,25 @@ let trace_capacity_t =
     & info [ "capacity" ]
         ~doc:"Trace ring capacity in events (oldest events drop beyond it).")
 
+let spans_t =
+  Arg.(
+    value & flag
+    & info [ "spans" ]
+        ~doc:
+          "Record request/op spans and windowed counter tracks (virtual \
+           time; deterministic).")
+
+let window_us_t =
+  Arg.(
+    value & opt float 20.0
+    & info [ "window-us" ]
+        ~doc:"Virtual-time window for the --spans time-series, microseconds.")
+
 let trace_term =
   Term.(
     const trace_cmd $ structure_t $ mode_t $ workload_t $ threads_t $ keys_t
     $ ops_t $ seed_t $ descriptors_t $ trace_out_t $ trace_metrics_t
-    $ trace_capacity_t)
+    $ trace_capacity_t $ spans_t $ window_us_t)
 
 (* ---- crash-test -------------------------------------------------------------- *)
 
@@ -437,7 +487,7 @@ let recovery_term =
 
 let serve_cmd structure shards zones clients requests load arrival workload
     batch queue_cap policy keys latency shard_mode shard_nodes seed crash_shard
-    crash_at_us json_out =
+    crash_at_us json_out spans window_us span_json trace_out trace_capacity =
   let ( let* ) r f =
     match r with
     | Error e ->
@@ -498,10 +548,14 @@ let serve_cmd structure shards zones clients requests load arrival workload
           seed;
         };
       crash;
+      spans = spans || span_json <> None;
+      window_ns = window_us *. 1_000.0;
     }
   in
   let* () = Svc.Config.validate cfg in
+  if trace_out <> None then Obs.Trace.start ~capacity:trace_capacity ();
   let report = Svc.Service.run cfg in
+  Obs.Trace.stop ();
   Svc.Slo.pp Format.std_formatter report;
   (match json_out with
   | Some path ->
@@ -510,6 +564,46 @@ let serve_cmd structure shards zones clients requests load arrival workload
       output_char oc '\n';
       close_out oc;
       Fmt.pr "SLO report written to %s@." path
+  | None -> ());
+  (match span_json with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Svc.Slo.spans_to_json report);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "span summary written to %s@." path
+  | None -> ());
+  (match trace_out with
+  | Some path ->
+      (* windowed SLO series ride along as Chrome counter tracks *)
+      let w_ns = report.Svc.Slo.window_ns in
+      let series f =
+        List.map
+          (fun w -> (float_of_int w.Svc.Slo.w_idx *. w_ns, f w))
+          report.Svc.Slo.windows
+      in
+      let p99 i w =
+        let h = w.Svc.Slo.w_phase.(i) in
+        if Sim.Histogram.count h = 0 then 0.0
+        else Sim.Histogram.percentile h 99.0
+      in
+      let counter_tracks =
+        if report.Svc.Slo.windows = [] then []
+        else
+          [
+            ("completed/window", series (fun w -> float_of_int w.Svc.Slo.w_completed));
+            ("shed/window", series (fun w -> float_of_int w.Svc.Slo.w_shed));
+            ("fences/window", series (fun w -> float_of_int w.Svc.Slo.w_fences));
+            ("queue depth", series (fun w -> w.Svc.Slo.w_depth));
+            ("queue p99 (ns)", series (p99 Obs.Span.ph_queue));
+            ("commit p99 (ns)", series (p99 Obs.Span.ph_commit));
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Obs.Trace.to_chrome_string ~counter_tracks ());
+      close_out oc;
+      Fmt.pr "trace: %d events (%d dropped) -> %s@." (Obs.Trace.recorded ())
+        (Obs.Trace.dropped ()) path
   | None -> ());
   0
 
@@ -573,12 +667,159 @@ let serve_json_t =
     value & opt (some string) None
     & info [ "json-out" ] ~doc:"Write the deterministic SLO report JSON here.")
 
+let span_json_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "span-json" ]
+        ~doc:"Write the span summary JSON here (implies --spans).")
+
+let serve_trace_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ]
+        ~doc:
+          "Record an event trace of the service run and write Chrome \
+           trace_event JSON (with windowed counter tracks when --spans) \
+           here.")
+
 let serve_term =
   Term.(
     const serve_cmd $ structure_t $ shards_t $ zones_t $ clients_t $ requests_t
     $ load_t $ arrival_t $ workload_t $ batch_t $ queue_cap_t $ policy_t
     $ keys_t $ latency_t $ mode_t $ shard_nodes_t $ seed_t $ crash_shard_t
-    $ crash_at_t $ serve_json_t)
+    $ crash_at_t $ serve_json_t $ spans_t $ window_us_t $ span_json_t
+    $ serve_trace_t $ trace_capacity_t)
+
+(* ---- tail-anatomy -------------------------------------------------------------- *)
+
+(* Power-fail tail-anatomy campaign: the same service config over a seeded
+   grid of crash times (one mid-run shard power failure per trial), spans
+   on, aggregated into one per-phase tail breakdown. Trials fan out on a
+   Sim.Pool and all printing happens after ordered collection, so the
+   output is byte-identical for any -j. *)
+let tail_cmd structure shards zones clients requests load workload keys seed
+    crash_shard origin_us stride_us points jitter_us jobs json_out =
+  let ( let* ) r f =
+    match r with
+    | Error e ->
+        Fmt.epr "tail-anatomy: %s@." e;
+        2
+    | Ok v -> f v
+  in
+  let* workload =
+    match Ycsb.Workload.by_label workload with
+    | spec -> Ok spec
+    | exception Invalid_argument e -> Error e
+  in
+  let* () = if points <= 0 then Error "points must be positive" else Ok () in
+  let grid =
+    {
+      Fault.origin = int_of_float (origin_us *. 1_000.0);
+      stride = int_of_float (stride_us *. 1_000.0);
+      points;
+      jitter = int_of_float (jitter_us *. 1_000.0);
+    }
+  in
+  let crash_times = Fault.grid_points ~seed grid in
+  let cfg_of at_ns =
+    {
+      Svc.Config.default with
+      structure = structure_name structure;
+      shards;
+      zones;
+      clients;
+      requests_per_client = requests;
+      offered_mops = load;
+      workload;
+      n_initial = keys;
+      seed;
+      sys = { Kv.default_sys with numa_nodes = 1; pool_words = 1 lsl 20; seed };
+      crash =
+        (if crash_shard < 0 then None
+         else
+           Some { Svc.Config.crash_shard; crash_at_ns = float_of_int at_ns });
+      spans = true;
+    }
+  in
+  let* () = Svc.Config.validate (cfg_of (List.hd crash_times)) in
+  Fmt.pr "tail-anatomy: %d power-fail trials on %d shards (crash shard %d)@."
+    points shards crash_shard;
+  let reports =
+    Sim.Pool.map ~jobs (fun at -> Svc.Service.run (cfg_of at)) crash_times
+  in
+  List.iter2
+    (fun at r ->
+      let m = Svc.Slo.summarize r.Svc.Slo.merged in
+      let rv =
+        match r.Svc.Slo.spans with
+        | Some sp -> sp.Svc.Slo.sp_residual_violations
+        | None -> 0
+      in
+      Fmt.pr
+        "  crash@%.1fus: completed %d  p99 %.0f ns  p99.9 %.0f ns  residual \
+         violations %d@."
+        (float_of_int at /. 1_000.0)
+        r.Svc.Slo.completed m.Svc.Slo.p99 m.Svc.Slo.p999 rv)
+    crash_times reports;
+  let merged =
+    Sim.Histogram.merge_list (List.map (fun r -> r.Svc.Slo.merged) reports)
+  in
+  let agg =
+    Svc.Slo.merge_summaries
+      (List.filter_map (fun r -> r.Svc.Slo.spans) reports)
+  in
+  Svc.Slo.pp_anatomy Format.std_formatter ~merged agg;
+  (match json_out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        "{\"schema\":\"upskip-svc-tail/1\",\"schema_version\":1,\"trials\":[";
+      List.iteri
+        (fun i r ->
+          if i > 0 then output_char oc ',';
+          output_string oc (Svc.Slo.spans_to_json r))
+        reports;
+      output_string oc "]}\n";
+      close_out oc;
+      Fmt.pr "per-trial span summaries written to %s@." path
+  | None -> ());
+  0
+
+let tail_crash_shard_t =
+  Arg.(
+    value & opt int 1
+    & info [ "crash-shard" ]
+        ~doc:"Shard to power-fail in every trial (-1 = healthy baseline).")
+
+let origin_us_t =
+  Arg.(
+    value & opt float 40.0
+    & info [ "origin-us" ] ~doc:"First crash time, simulated microseconds.")
+
+let stride_us_t =
+  Arg.(
+    value & opt float 25.0
+    & info [ "stride-us" ] ~doc:"Spacing between crash times, microseconds.")
+
+let points_t =
+  Arg.(value & opt int 4 & info [ "points" ] ~doc:"Number of crash times.")
+
+let jitter_us_t =
+  Arg.(
+    value & opt float 5.0
+    & info [ "jitter-us" ]
+        ~doc:"Seeded per-point displacement in [0, jitter) microseconds.")
+
+let tail_json_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json-out" ] ~doc:"Write per-trial span summaries (JSON) here.")
+
+let tail_term =
+  Term.(
+    const tail_cmd $ structure_t $ shards_t $ zones_t $ clients_t $ requests_t
+    $ load_t $ workload_t $ keys_t $ seed_t $ tail_crash_shard_t $ origin_us_t
+    $ stride_us_t $ points_t $ jitter_us_t $ jobs_t $ tail_json_t)
 
 (* ---- demo ---------------------------------------------------------------------- *)
 
@@ -656,6 +897,14 @@ let cmds =
             shard routing, batching with group flush, admission control, \
             optional mid-run shard crash, SLO report.")
       serve_term;
+    Cmd.v
+      (Cmd.info "tail-anatomy"
+         ~doc:
+           "Power-fail tail-anatomy campaign: sweep a seeded grid of crash \
+            times through the service with request spans on and attribute \
+            the p99/p99.9 latency cohorts to pipeline phases (queue wait, \
+            recovery overlap, fence, ...).")
+      tail_term;
     Cmd.v (Cmd.info "demo" ~doc:"Small interactive walk-through.") demo_term;
   ]
 

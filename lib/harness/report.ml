@@ -226,8 +226,11 @@ let write_json ~path ~label ~scale ~total_wall_s ~baseline_total_wall_s figures 
    crash-recovery campaign, ...). *)
 
 (* One row per counter id, one column per op type showing the total and
-   the per-op rate. Counters that are zero everywhere are elided. *)
-let digest_table ~title digests =
+   the per-op rate. Counters that are zero everywhere are elided. With
+   [latency] (op label → latency histogram, ns), two extra rows put p50/p99
+   next to the counter attribution, so "what it did" and "what it cost"
+   land in one table. *)
+let digest_table ?(latency = []) ~title digests =
   subheading title;
   let interesting id =
     List.exists (fun (_, _, totals) -> totals.(id) <> 0) digests
@@ -251,7 +254,22 @@ let digest_table ~title digests =
                  digests))
       (List.init Obs.n_ids (fun id -> id))
   in
-  table ~headers ~rows
+  let lat_rows =
+    if latency = [] then []
+    else
+      List.map
+        (fun (name, p) ->
+          name
+          :: List.map
+               (fun (op, _, _) ->
+                 match List.assoc_opt op latency with
+                 | Some h when Sim.Histogram.count h > 0 ->
+                     f1 (Sim.Histogram.percentile h p)
+                 | _ -> "-")
+               digests)
+        [ ("lat p50 (ns)", 50.0); ("lat p99 (ns)", 99.0) ]
+  in
+  table ~headers ~rows:(rows @ lat_rows)
 
 let json_of_digest (op, count, totals) =
   let counters =
@@ -277,7 +295,8 @@ let json_of_metrics ~label ~seed sections =
       (String.concat ",\n" (List.map json_of_digest digests))
   in
   Printf.sprintf
-    "{\n  \"label\": \"%s\",\n  \"seed\": %d,\n  \"sections\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema_version\": 2,\n  \"label\": \"%s\",\n  \"seed\": %d,\n  \
+     \"sections\": [\n%s\n  ]\n}\n"
     (json_escape label) seed
     (String.concat ",\n" (List.map section sections))
 

@@ -148,6 +148,203 @@ let add_delta ~before ~after =
       done)
     after
 
+(* ---- request spans ------------------------------------------------------- *)
+
+module Span = struct
+  (* Request-scoped latency decomposition for the service layer. A span is
+     a finished request: its identity, end-to-end latency, and the measured
+     duration of each pipeline phase. Phases are boundary-timestamp
+     differences, so they telescope to the end-to-end latency by
+     construction; the collector tracks the worst float residual anyway and
+     counts any that exceed 1e-6 ns (pure last-ulp noise is ~1e-10 ns at
+     these magnitudes, so a violation means a real instrumentation bug). *)
+
+  let ph_hop = 0
+  let ph_queue = 1
+  let ph_batch = 2
+  let ph_exec = 3
+  let ph_commit = 4
+  let n_phases = 5
+
+  let phase_name = function
+    | 0 -> "hop"
+    | 1 -> "queue"
+    | 2 -> "batch"
+    | 3 -> "exec"
+    | 4 -> "commit"
+    | _ -> invalid_arg "Obs.Span.phase_name"
+
+  (* Span ids derive from (client, per-client request index) only — never
+     from wall clock or allocation order — so identical seeds give
+     identical ids. *)
+  let id ~client ~seq = (client lsl 24) lor (seq land 0xFFFFFF)
+
+  type t = {
+    sp_id : int;
+    sp_client : int;
+    sp_seq : int;
+    sp_shard : int;
+    sp_op : int;
+    sp_arrival : float;
+    sp_lat : float;
+    sp_phase : float array;
+    sp_fence : float;
+    sp_recovery : float;
+    sp_flushes : int;
+    sp_fences : int;
+    sp_load_misses : int;
+  }
+
+  let phase_sum sp =
+    (* fixed left-to-right fold: the residual check depends on a stable
+       summation order *)
+    let s = ref 0.0 in
+    for i = 0 to n_phases - 1 do
+      s := !s +. sp.sp_phase.(i)
+    done;
+    !s
+
+  let residual sp = Float.abs (phase_sum sp -. sp.sp_lat)
+
+  type collector = {
+    top_cap : int;
+    sample_cap : int;
+    mutable rng : int64;
+    mutable n_recorded : int;
+    mutable heap : t array; (* min-heap on (lat, id); [0, heap_len) live *)
+    mutable heap_len : int;
+    mutable sample : t array; (* reservoir; [0, sample_len) live *)
+    mutable sample_len : int;
+    phase_sum_all : float array;
+    mutable lat_sum : float;
+    mutable fence_sum : float;
+    mutable recovery_sum : float;
+    mutable residual_max : float;
+    mutable residual_violations : int;
+  }
+
+  let create ?(top = 1024) ?(sample = 512) ~seed () =
+    {
+      top_cap = max 0 top;
+      sample_cap = max 0 sample;
+      rng = Int64.of_int seed;
+      n_recorded = 0;
+      heap = [||];
+      heap_len = 0;
+      sample = [||];
+      sample_len = 0;
+      phase_sum_all = Array.make n_phases 0.0;
+      lat_sum = 0.0;
+      fence_sum = 0.0;
+      recovery_sum = 0.0;
+      residual_max = 0.0;
+      residual_violations = 0;
+    }
+
+  (* splitmix64: a fixed, platform-independent generator so the reservoir
+     is byte-identical for a given seed regardless of OCaml's Random *)
+  let next_rand c =
+    c.rng <- Int64.add c.rng 0x9E3779B97F4A7C15L;
+    let z = c.rng in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let rand_below c n =
+    Int64.to_int (Int64.rem (Int64.logand (next_rand c) Int64.max_int)
+                    (Int64.of_int n))
+
+  (* total order on spans: latency, ties broken by id so equal latencies
+     cannot make top-K membership depend on arrival order races (there are
+     none, but the tie-break keeps the contract obvious) *)
+  let slower a b =
+    a.sp_lat > b.sp_lat || (a.sp_lat = b.sp_lat && a.sp_id > b.sp_id)
+
+  let heap_swap c i j =
+    let t = c.heap.(i) in
+    c.heap.(i) <- c.heap.(j);
+    c.heap.(j) <- t
+
+  let rec sift_up c i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if slower c.heap.(p) c.heap.(i) then begin
+        heap_swap c i p;
+        sift_up c p
+      end
+    end
+
+  let rec sift_down c i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = ref i in
+    if l < c.heap_len && slower c.heap.(!m) c.heap.(l) then m := l;
+    if r < c.heap_len && slower c.heap.(!m) c.heap.(r) then m := r;
+    if !m <> i then begin
+      heap_swap c i !m;
+      sift_down c !m
+    end
+
+  let record c sp =
+    c.n_recorded <- c.n_recorded + 1;
+    for i = 0 to n_phases - 1 do
+      c.phase_sum_all.(i) <- c.phase_sum_all.(i) +. sp.sp_phase.(i)
+    done;
+    c.lat_sum <- c.lat_sum +. sp.sp_lat;
+    c.fence_sum <- c.fence_sum +. sp.sp_fence;
+    c.recovery_sum <- c.recovery_sum +. sp.sp_recovery;
+    let r = residual sp in
+    if r > c.residual_max then c.residual_max <- r;
+    if r > 1e-6 then c.residual_violations <- c.residual_violations + 1;
+    if c.top_cap > 0 then begin
+      if Array.length c.heap = 0 then c.heap <- Array.make c.top_cap sp;
+      if c.heap_len < c.top_cap then begin
+        c.heap.(c.heap_len) <- sp;
+        c.heap_len <- c.heap_len + 1;
+        sift_up c (c.heap_len - 1)
+      end
+      else if slower sp c.heap.(0) then begin
+        c.heap.(0) <- sp;
+        sift_down c 0
+      end
+    end;
+    if c.sample_cap > 0 then begin
+      if Array.length c.sample = 0 then c.sample <- Array.make c.sample_cap sp;
+      if c.sample_len < c.sample_cap then begin
+        c.sample.(c.sample_len) <- sp;
+        c.sample_len <- c.sample_len + 1
+      end
+      else begin
+        (* algorithm R: keep each of the n seen so far with prob cap/n *)
+        let j = rand_below c c.n_recorded in
+        if j < c.sample_cap then c.sample.(j) <- sp
+      end
+    end
+
+  let count c = c.n_recorded
+  let phase_totals c = Array.copy c.phase_sum_all
+  let lat_total c = c.lat_sum
+  let fence_total c = c.fence_sum
+  let recovery_total c = c.recovery_sum
+  let residual_max c = c.residual_max
+  let residual_violations c = c.residual_violations
+
+  let tops c =
+    let a = Array.sub c.heap 0 c.heap_len in
+    Array.sort (fun x y -> if slower x y then -1 else if slower y x then 1 else 0) a;
+    Array.to_list a
+
+  let sampled c =
+    let a = Array.sub c.sample 0 c.sample_len in
+    Array.sort (fun x y -> compare x.sp_id y.sp_id) a;
+    Array.to_list a
+end
+
 (* ---- event trace --------------------------------------------------------- *)
 
 module Trace = struct
@@ -157,6 +354,7 @@ module Trace = struct
   let k_fiber_crash = n_ids + 3
   let k_op_begin = n_ids + 4
   let k_op_end = n_ids + 5
+  let k_req_phase = n_ids + 6
 
   (* ring storage: parallel flat arrays, drop-oldest on overflow; one ring
      per domain, like the counter rows *)
@@ -228,10 +426,68 @@ module Trace = struct
     let s = Domain.DLS.get state_key in
     max 0 (s.total_emitted - s.cap)
 
+  let total_emitted () = (Domain.DLS.get state_key).total_emitted
+  let capacity () = (Domain.DLS.get state_key).cap
+
+  let iter_retained f =
+    let s = Domain.DLS.get state_key in
+    let n = min s.total_emitted s.cap in
+    for i = 0 to n - 1 do
+      let c = s.cap in
+      let sl = if s.total_emitted <= c then i else (s.total_emitted + i) mod c in
+      f ~ts:s.ts_buf.(sl) ~tid:s.tid_buf.(sl) ~kind:s.kind_buf.(sl)
+        ~arg:s.arg_buf.(sl) ~farg:s.farg_buf.(sl)
+    done
+
   (* index of the i-th oldest retained event, i in [0, recorded) *)
   let slot s i =
     let c = s.cap in
     if s.total_emitted <= c then i else (s.total_emitted + i) mod c
+
+  (* ---- cross-domain segment transfer (Sim.Pool) ---- *)
+
+  type captured = {
+    c_dropped : int; (* events of the segment already overwritten at capture *)
+    c_ts : float array;
+    c_tid : int array;
+    c_kind : int array;
+    c_arg : int array;
+    c_farg : float array;
+  }
+
+  let capture ~since =
+    let s = Domain.DLS.get state_key in
+    let total = s.total_emitted in
+    let since = max 0 (min since total) in
+    let first_live = total - min total s.cap in
+    let start = max since first_live in
+    let n = total - start in
+    let base = start - first_live in
+    {
+      c_dropped = start - since;
+      c_ts = Array.init n (fun k -> s.ts_buf.(slot s (base + k)));
+      c_tid = Array.init n (fun k -> s.tid_buf.(slot s (base + k)));
+      c_kind = Array.init n (fun k -> s.kind_buf.(slot s (base + k)));
+      c_arg = Array.init n (fun k -> s.arg_buf.(slot s (base + k)));
+      c_farg = Array.init n (fun k -> s.farg_buf.(slot s (base + k)));
+    }
+
+  let absorb c =
+    let s = Domain.DLS.get state_key in
+    if s.cap > 0 then begin
+      (* Advance the cursor past the segment's already-dropped prefix
+         without touching slots: c_dropped > 0 implies the retained suffix
+         holds exactly [capacity] events (capture and absorb rings must
+         share one capacity), so the loop below rewrites every slot and no
+         stale event survives the skip. This makes the final ring content
+         identical to having emitted the whole segment here live. *)
+      s.total_emitted <- s.total_emitted + c.c_dropped;
+      Array.iteri
+        (fun k ts ->
+          emit ~ts ~tid:c.c_tid.(k) ~kind:c.c_kind.(k) ~arg:c.c_arg.(k)
+            ~farg:c.c_farg.(k))
+        c.c_ts
+    end
 
   let kind_label = function
     | k when k = id_flush -> "flush"
@@ -273,11 +529,12 @@ module Trace = struct
      ns, so divide by 1000 and keep 6 decimals (sub-ns resolution). *)
   let us buf v = Buffer.add_string buf (Printf.sprintf "%.6f" (v /. 1000.0))
 
-  let to_chrome_string () =
+  let to_chrome_string ?(counter_tracks = []) () =
     let s = Domain.DLS.get state_key in
     let n = recorded () in
     let buf = Buffer.create (256 + (n * 96)) in
-    Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    Buffer.add_string buf
+      "{\"schema_version\":2,\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
     let first = ref true in
     let sep () =
       if !first then first := false else Buffer.add_string buf ",\n"
@@ -303,6 +560,20 @@ module Trace = struct
                tid tid)
         end)
       seen;
+    (* windowed time-series as Chrome counter tracks ("C" events) *)
+    List.iter
+      (fun (name, series) ->
+        List.iter
+          (fun (ts, v) ->
+            sep ();
+            Buffer.add_string buf
+              (Printf.sprintf "{\"ph\":\"C\",\"pid\":0,\"name\":\"%s\",\"ts\":"
+                 name);
+            us buf ts;
+            Buffer.add_string buf
+              (Printf.sprintf ",\"args\":{\"value\":%.3f}}" v))
+          series)
+      counter_tracks;
     (* op_begin/op_end pair into one "X" slice per fiber (ops never nest) *)
     let open_ts = Array.make (!max_tid + 2) nan in
     let open_op = Array.make (!max_tid + 2) 0 in
@@ -330,6 +601,29 @@ module Trace = struct
             (Printf.sprintf ",\"name\":\"%s\"}" (op_label open_op.(tid)));
           open_ts.(tid) <- nan
         end
+      end
+      else if kind = k_req_phase then begin
+        (* request phase: arg = span_id*8 + phase, ts the phase start, farg
+           its duration — rendered as an async begin/end pair keyed by the
+           span id so viewers stack one lane per in-flight request *)
+        let phase = arg land 7 and span_id = arg asr 3 in
+        let name = Span.phase_name (min phase (Span.n_phases - 1)) in
+        sep ();
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"ph\":\"b\",\"cat\":\"req\",\"id\":\"0x%x\",\"pid\":0,\
+              \"tid\":%d,\"name\":\"%s\",\"ts\":"
+             span_id tid name);
+        us buf ts;
+        Buffer.add_string buf "}";
+        sep ();
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"ph\":\"e\",\"cat\":\"req\",\"id\":\"0x%x\",\"pid\":0,\
+              \"tid\":%d,\"name\":\"%s\",\"ts\":"
+             span_id tid name);
+        us buf (ts +. farg);
+        Buffer.add_string buf "}"
       end
       else if kind <= id_pmem_cas_fail then begin
         (* PMEM primitive: ts is the op start, farg its latency *)

@@ -124,6 +124,104 @@ val add_delta : before:int array array -> after:int array array -> unit
     results, [before] possibly with fewer rows) into the calling domain's
     rows. *)
 
+(** {1 Request spans} *)
+
+module Span : sig
+  (** Request-scoped latency decomposition for the service layer: one
+      value per finished request, carrying its identity, end-to-end
+      latency, and measured per-phase durations that telescope to the
+      latency by construction. Span ids derive from
+      [(client id, per-client request index)] — never from wall clock —
+      so identical seeds give identical spans, and a collector retains the
+      slowest requests (bounded min-heap) plus a seeded reservoir sample
+      of the rest, both byte-deterministic. *)
+
+  (** {2 Phases} *)
+
+  val ph_hop : int  (** client→shard network hop *)
+
+  val ph_queue : int  (** wait in the shard's admission queue *)
+
+  val ph_batch : int
+  (** batch formation: pop→own-exec-start (batch overhead, per-request
+      overhead, peers executed earlier in the batch) *)
+
+  val ph_exec : int  (** this request's own structure operation *)
+
+  val ph_commit : int
+  (** exec-end→ack: peers executed later in the batch plus the
+      group-commit fence (0 for reads, acked at exec end) *)
+
+  val n_phases : int
+
+  val phase_name : int -> string
+  (** Stable short name ("hop", "queue", ...); raises on a bad phase. *)
+
+  val id : client:int -> seq:int -> int
+  (** Deterministic span id: [client lsl 24 lor seq]. *)
+
+  type t = {
+    sp_id : int;
+    sp_client : int;
+    sp_seq : int;  (** per-client request index (scans included) *)
+    sp_shard : int;
+    sp_op : int;  (** 0 read, 1 upsert *)
+    sp_arrival : float;  (** virtual ns *)
+    sp_lat : float;  (** end-to-end latency as recorded in the SLO *)
+    sp_phase : float array;  (** [n_phases] measured phase durations, ns *)
+    sp_fence : float;  (** group-commit fence wait inside [ph_commit] *)
+    sp_recovery : float;
+        (** overlap of the queue wait with the shard's recovery outage
+            window (inside [ph_queue]) *)
+    sp_flushes : int;  (** PMEM flushes during this request's exec *)
+    sp_fences : int;
+    sp_load_misses : int;
+  }
+
+  val phase_sum : t -> float
+  (** Left-to-right sum of the phase durations (fixed fold order, so the
+      residual below is reproducible). *)
+
+  val residual : t -> float
+  (** [|phase_sum - sp_lat|] — 0 up to last-ulp float noise (≪ 1e-6 ns). *)
+
+  (** {2 Collector} *)
+
+  type collector
+
+  val create : ?top:int -> ?sample:int -> seed:int -> unit -> collector
+  (** Retains the [top] slowest spans (default 1024; ties broken by id)
+      and a [sample]-sized reservoir of all spans (default 512, algorithm
+      R over a seeded splitmix64 stream). *)
+
+  val record : collector -> t -> unit
+
+  val count : collector -> int
+  (** Spans recorded (retained or not). *)
+
+  val tops : collector -> t list
+  (** The retained slowest spans, slowest first. *)
+
+  val sampled : collector -> t list
+  (** The reservoir, in ascending span-id order. *)
+
+  val phase_totals : collector -> float array
+  (** Per-phase duration sums over {e all} recorded spans. *)
+
+  val lat_total : collector -> float
+
+  val fence_total : collector -> float
+
+  val recovery_total : collector -> float
+
+  val residual_max : collector -> float
+  (** Worst conservation residual seen, ns. *)
+
+  val residual_violations : collector -> int
+  (** Spans whose residual exceeded 1e-6 ns (always 0 unless the
+      instrumentation is wrong). *)
+end
+
 (** {1 Event trace} *)
 
 module Trace : sig
@@ -155,6 +253,10 @@ module Trace : sig
 
   val k_op_end : int  (** workload op finished *)
 
+  val k_req_phase : int
+  (** service request phase: [arg] = span id × 8 + phase, [ts] the phase
+      start, [farg] its duration (see {!Span}) *)
+
   val start : ?capacity:int -> unit -> unit
   (** Clear the ring (default capacity 65536 events) and enable
       recording. *)
@@ -175,9 +277,45 @@ module Trace : sig
   val dropped : unit -> int
   (** Events overwritten because the ring was full. *)
 
-  val to_chrome_string : unit -> string
-  (** Render the recorded events as Chrome [trace_event] JSON (one track
-      per fiber, timestamps in microseconds of virtual time, PMEM
-      primitives and workload ops as duration slices, everything else as
-      instants). Byte-identical for identical event streams. *)
+  val total_emitted : unit -> int
+  (** Events ever emitted on this domain's ring (recorded + dropped);
+      monotone while the ring is not restarted. Use as the [since] cursor
+      for {!capture}. *)
+
+  val capacity : unit -> int
+  (** Current ring capacity in events (0 before the first {!start}). *)
+
+  val iter_retained :
+    (ts:float -> tid:int -> kind:int -> arg:int -> farg:float -> unit) -> unit
+  (** Visit the retained events, oldest first (the surviving window after
+      any drop-oldest overflow). *)
+
+  type captured
+  (** A segment of the event stream lifted out of a ring: the events
+      emitted since some cursor that are still retained, plus the count of
+      those already overwritten. Used by [Sim.Pool] to move a worker
+      domain's per-job events into the caller's ring. *)
+
+  val capture : since:int -> captured
+  (** Copy the events with stream index ≥ [since] out of this domain's
+      ring. Events of the segment already overwritten by ring overflow are
+      counted, not recovered. *)
+
+  val absorb : captured -> unit
+  (** Replay a captured segment into this domain's ring as if its events
+      had been emitted here live: the overwritten prefix advances the drop
+      accounting, the retained events are re-emitted in order. Byte-exact
+      with a live sequential emission {e provided} both rings share one
+      capacity (when the prefix is non-empty the retained suffix holds
+      exactly [capacity] events, so every slot is rewritten). *)
+
+  val to_chrome_string :
+    ?counter_tracks:(string * (float * float) list) list -> unit -> string
+  (** Render the recorded events as Chrome [trace_event] JSON (top-level
+      [schema_version] 2; one track per fiber, timestamps in microseconds
+      of virtual time, PMEM primitives and workload ops as duration
+      slices, request phases as async begin/end pairs keyed by span id,
+      everything else as instants). [counter_tracks] adds named counter
+      ("C") series, each a [(virtual-ns, value)] list. Byte-identical for
+      identical event streams and tracks. *)
 end

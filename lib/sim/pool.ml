@@ -20,8 +20,12 @@
      calling domain in job index order, so [Obs.totals] after a parallel
      run equals the sequential value exactly.
    - When the calling domain is recording a trace ([Obs.Trace.enabled]),
-     jobs run sequentially in the caller — a worker domain's events would
-     otherwise be lost and the exported trace would differ.
+     each worker records into its own same-capacity ring, the per-job
+     event segment is captured when the job finishes, and the caller
+     absorbs the segments in job index order. Because jobs emit no events
+     between jobs (the caller is blocked during the run) the caller's ring
+     ends up byte-identical to a sequential run, including drop-oldest
+     overflow accounting ([Obs.Trace.capture] / [Obs.Trace.absorb]).
    - A job that raises re-raises in the caller at collection time: deltas
      of later jobs are discarded and the first (by job index) exception
      propagates with its backtrace, mirroring where a sequential run would
@@ -45,30 +49,36 @@ let run ?jobs thunks =
   let jobs =
     match jobs with Some j -> max 1 (min j n) | None -> min (default_jobs ()) n
   in
-  if
-    jobs <= 1 || n <= 1
-    || Domain.DLS.get in_worker_key
-    || Obs.Trace.enabled ()
-  then run_seq thunks
+  if jobs <= 1 || n <= 1 || Domain.DLS.get in_worker_key then run_seq thunks
   else begin
     let thunks = Array.of_list thunks in
-    (* slot per job: (outcome, obs rows before, obs rows after) *)
+    (* caller tracing? workers then record into same-capacity rings and the
+       per-job event segments are merged back in job order *)
+    let trace_cap = if Obs.Trace.enabled () then Obs.Trace.capacity () else 0 in
+    (* slot per job: (outcome, obs rows before/after, trace segment) *)
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let worker () =
       Domain.DLS.set in_worker_key true;
+      if trace_cap > 0 then Obs.Trace.start ~capacity:trace_cap ();
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
         if i >= n then continue := false
         else begin
           let before = Obs.snapshot () in
+          let t0 = if trace_cap > 0 then Obs.Trace.total_emitted () else 0 in
           let outcome =
             try Done (thunks.(i) ())
             with e -> Raised (e, Printexc.get_raw_backtrace ())
           in
           let after = Obs.snapshot () in
-          results.(i) <- Some (outcome, before, after)
+          (* capture eagerly: a later job on this worker may overwrite
+             this job's events in the shared per-domain ring *)
+          let seg =
+            if trace_cap > 0 then Some (Obs.Trace.capture ~since:t0) else None
+          in
+          results.(i) <- Some (outcome, before, after, seg)
         end
       done
     in
@@ -90,8 +100,9 @@ let run ?jobs thunks =
     let out = ref [] in
     (try
        Array.iter
-         (fun (outcome, before, after) ->
+         (fun (outcome, before, after, seg) ->
            Obs.add_delta ~before ~after;
+           (match seg with Some s -> Obs.Trace.absorb s | None -> ());
            match outcome with
            | Done v -> out := v :: !out
            | Raised (e, bt) -> Printexc.raise_with_backtrace e bt)

@@ -9,9 +9,11 @@
     Additional guarantees (see the implementation header for details):
     observability counters merge back into the calling domain in job order
     ([Obs.totals] matches a sequential run exactly); a caller recording a
-    trace runs jobs sequentially so no events are lost; the first failing
-    job's exception re-raises in the caller; nested [run]s execute
-    sequentially instead of multiplying domains. *)
+    trace gets every job's events merged into its ring in job order, with
+    drop-oldest overflow accounting identical to a sequential run
+    ([Obs.Trace.capture]/[absorb]); the first failing job's exception
+    re-raises in the caller; nested [run]s execute sequentially instead of
+    multiplying domains. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the [-j] default in the bench

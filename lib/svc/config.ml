@@ -27,6 +27,10 @@ type t = {
   seed : int;
   sys : Kv.sys;
   crash : crash_plan option;
+  spans : bool;
+  span_top : int;
+  span_sample : int;
+  window_ns : float;
 }
 
 let default =
@@ -53,6 +57,10 @@ let default =
     seed = 42;
     sys = { Kv.default_sys with numa_nodes = 1; pool_words = 1 lsl 20 };
     crash = None;
+    spans = false;
+    span_top = 1024;
+    span_sample = 512;
+    window_ns = 20_000.0;
   }
 
 (* offered_mops is requests per microsecond across all clients; each of the
@@ -77,6 +85,12 @@ let validate t =
     err "queue-cap must be positive (got %d)" t.queue_cap
   else if t.poll_ns <= 0.0 then err "poll interval must be positive"
   else if t.sample_ns <= 0.0 then err "sample interval must be positive"
+  else if t.window_ns <= 0.0 then err "window must be positive"
+  else if t.spans && t.span_top < 0 then err "span-top must be non-negative"
+  else if t.spans && t.span_sample < 0 then
+    err "span-sample must be non-negative"
+  else if t.spans && t.span_top + t.span_sample = 0 then
+    err "spans need span-top or span-sample to be positive"
   else if t.net_local_ns < 0.0 || t.net_remote_ns < 0.0 then
     err "network hop costs must be non-negative"
   else

@@ -41,6 +41,13 @@ type t = {
           pools — [numa_nodes]/[mode] here describe one shard's internal
           layout, not the service topology *)
   crash : crash_plan option;
+  spans : bool;
+      (** record a per-request span (phase decomposition) for every read
+          and upsert; host-side only, so the simulation is unchanged *)
+  span_top : int;  (** slowest spans retained in full (default 1024) *)
+  span_sample : int;  (** reservoir sample size over all spans *)
+  window_ns : float;
+      (** virtual-time window for the SLO time-series (spans runs only) *)
 }
 
 val default : t

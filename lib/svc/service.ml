@@ -24,7 +24,38 @@ type req =
   | R_upsert of int * int
   | R_scan_part of scan_ctx * int * int
 
-type entry = { arrival : float; req : req }
+(* Per-request span scratchpad (only allocated when cfg.spans): boundary
+   timestamps written as the request moves through the pipeline, plus the
+   per-fiber counter values bracketing its own structure operation. All
+   writes are host-side — recording spans never charges simulated time, so
+   a run with spans on is simulation-identical to the same run with them
+   off. *)
+type sp_cell = {
+  c_client : int;
+  c_seq : int; (* per-client request index *)
+  c_op : int; (* 0 read, 1 upsert *)
+  mutable c_enq : float;
+  mutable c_pop : float;
+  mutable c_exec0 : float;
+  mutable c_exec1 : float;
+  mutable c_fence : float; (* group-commit fence duration, upserts *)
+  mutable c_flush0 : int;
+  mutable c_fence0 : int;
+  mutable c_miss0 : int;
+  mutable c_flushes : int;
+  mutable c_fences : int;
+  mutable c_misses : int;
+}
+
+type entry = { arrival : float; req : req; cell : sp_cell option }
+
+(* One accumulator per virtual-time window of the SLO time-series. *)
+type wacc = {
+  mutable aw_completed : int;
+  mutable aw_shed : int;
+  mutable aw_fences : int;
+  aw_phase : Sim.Histogram.t array;
+}
 
 type shard_state = {
   kv : Kv.t;
@@ -38,6 +69,7 @@ type shard_state = {
   mutable flushes : int;
   mutable crashed : bool;
   mutable down_ns : float;
+  mutable down_at : float; (* outage start; meaningful when down_ns > 0 *)
 }
 
 let shard_sys (cfg : Config.t) s =
@@ -132,6 +164,7 @@ let config_summary (cfg : Config.t) =
       | Pmem.Multi_pool -> "multi-pool" );
     ("shard_numa_nodes", string_of_int cfg.sys.Kv.numa_nodes);
     ("seed", string_of_int cfg.seed);
+    ("spans", if cfg.spans then "on" else "off");
     ( "crash",
       match cfg.crash with
       | None -> "none"
@@ -161,6 +194,7 @@ let run (cfg : Config.t) =
               flushes = 0;
               crashed = false;
               down_ns = 0.0;
+              down_at = 0.0;
             }
         | Error e -> invalid_arg ("Svc.Service.run: " ^ e))
   in
@@ -180,6 +214,123 @@ let run (cfg : Config.t) =
   let workers_done = ref 0 in
   let in_outage = Array.make cfg.shards 0 in
   let samples = ref [] in
+  let spans_on = cfg.spans in
+  let coll =
+    if spans_on then
+      Some
+        (Obs.Span.create ~top:cfg.span_top ~sample:cfg.span_sample
+           ~seed:cfg.seed ())
+    else None
+  in
+  let phase_hists =
+    Array.init Obs.Span.n_phases (fun _ -> H.create ())
+  in
+  (* windowed time-series accumulators, indexed by floor(t / window_ns) *)
+  let wins = ref [||] in
+  let new_wacc () =
+    {
+      aw_completed = 0;
+      aw_shed = 0;
+      aw_fences = 0;
+      aw_phase = Array.init Obs.Span.n_phases (fun _ -> H.create ());
+    }
+  in
+  let win_of t =
+    let idx = max 0 (int_of_float (t /. cfg.window_ns)) in
+    let cur = !wins in
+    let n = Array.length cur in
+    if idx >= n then begin
+      let n' = max (idx + 1) (max 8 (2 * n)) in
+      let a = Array.init n' (fun i -> if i < n then cur.(i) else new_wacc ()) in
+      wins := a
+    end;
+    !wins.(idx)
+  in
+  let mk_cell ~client ~seq ~op =
+    if spans_on then
+      Some
+        {
+          c_client = client;
+          c_seq = seq;
+          c_op = op;
+          c_enq = 0.0;
+          c_pop = 0.0;
+          c_exec0 = 0.0;
+          c_exec1 = 0.0;
+          c_fence = 0.0;
+          c_flush0 = 0;
+          c_fence0 = 0;
+          c_miss0 = 0;
+          c_flushes = 0;
+          c_fences = 0;
+          c_misses = 0;
+        }
+    else None
+  in
+  (* Record the finished request's span: measured phase durations (they
+     telescope to [lat] by construction; the collector cross-checks the
+     float residual), recovery-overlap attribution, window accounting, and
+     — when a trace is being recorded — one k_req_phase event per phase. *)
+  let finalize_span ~shard e t_ack lat =
+    match (e.cell, coll) with
+    | Some cl, Some coll ->
+        let st_sh = states.(shard) in
+        let recovery =
+          if st_sh.down_ns > 0.0 then begin
+            let t0 = st_sh.down_at and t1 = st_sh.down_at +. st_sh.down_ns in
+            let lo = Float.max cl.c_enq t0 and hi = Float.min cl.c_pop t1 in
+            Float.max 0.0 (hi -. lo)
+          end
+          else 0.0
+        in
+        let phase =
+          [|
+            cl.c_enq -. e.arrival;
+            cl.c_pop -. cl.c_enq;
+            cl.c_exec0 -. cl.c_pop;
+            cl.c_exec1 -. cl.c_exec0;
+            t_ack -. cl.c_exec1;
+          |]
+        in
+        let sp =
+          {
+            Obs.Span.sp_id = Obs.Span.id ~client:cl.c_client ~seq:cl.c_seq;
+            sp_client = cl.c_client;
+            sp_seq = cl.c_seq;
+            sp_shard = shard;
+            sp_op = cl.c_op;
+            sp_arrival = e.arrival;
+            sp_lat = lat;
+            sp_phase = phase;
+            sp_fence = cl.c_fence;
+            sp_recovery = recovery;
+            sp_flushes = cl.c_flushes;
+            sp_fences = cl.c_fences;
+            sp_load_misses = cl.c_misses;
+          }
+        in
+        Obs.Span.record coll sp;
+        for i = 0 to Obs.Span.n_phases - 1 do
+          H.add phase_hists.(i) phase.(i)
+        done;
+        let w = win_of t_ack in
+        w.aw_completed <- w.aw_completed + 1;
+        for i = 0 to Obs.Span.n_phases - 1 do
+          H.add w.aw_phase.(i) phase.(i)
+        done;
+        if Obs.Trace.enabled () then begin
+          let starts =
+            [| e.arrival; cl.c_enq; cl.c_pop; cl.c_exec0; cl.c_exec1 |]
+          in
+          for i = 0 to Obs.Span.n_phases - 1 do
+            Obs.Trace.emit ~ts:starts.(i) ~tid:shard
+              ~kind:Obs.Trace.k_req_phase
+              ~arg:((sp.Obs.Span.sp_id lsl 3) lor i)
+              ~farg:phase.(i)
+          done
+        end
+    | _ -> ()
+  in
 
   (* Resolve one fan-out part of a scan. The success arm only ever runs in
      the worker finishing the last part (parts resolve successfully only at
@@ -203,16 +354,26 @@ let run (cfg : Config.t) =
 
   let admit ~tid s entry =
     let st = states.(s) in
+    let mark_enq () =
+      match entry.cell with
+      | Some cl -> cl.c_enq <- Sim.Sched.now ()
+      | None -> ()
+    in
     match cfg.policy with
     | Config.Shed ->
         if Bqueue.push st.q entry then begin
           st.enq <- st.enq + 1;
           Obs.bump ~tid Obs.id_svc_enqueue;
+          mark_enq ();
           true
         end
         else begin
           st.shed <- st.shed + 1;
           Obs.bump ~tid Obs.id_svc_shed;
+          if spans_on then begin
+            let w = win_of (Sim.Sched.now ()) in
+            w.aw_shed <- w.aw_shed + 1
+          end;
           false
         end
     | Config.Delay backoff ->
@@ -220,6 +381,7 @@ let run (cfg : Config.t) =
           if Bqueue.push st.q entry then begin
             st.enq <- st.enq + 1;
             Obs.bump ~tid Obs.id_svc_enqueue;
+            mark_enq ();
             true
           end
           else begin
@@ -245,22 +407,36 @@ let run (cfg : Config.t) =
         ~to_zone:(Router.zone_of_shard router s)
     in
     let seq = ref 0 in
+    let rix = ref (-1) in
     Array.iter
       (fun op ->
         Sim.Sched.charge (Sim.Arrival.next_gap_ns arr);
         incr requests;
+        incr rix;
         let t_send = Sim.Sched.now () in
         match op with
         | Ycsb.Workload.Read k ->
             let s = Router.shard_of_key router k in
             Sim.Sched.charge (hop s);
-            ignore (admit ~tid s { arrival = t_send; req = R_read k })
+            ignore
+              (admit ~tid s
+                 {
+                   arrival = t_send;
+                   req = R_read k;
+                   cell = mk_cell ~client:c ~seq:!rix ~op:0;
+                 })
         | Ycsb.Workload.Update k | Ycsb.Workload.Insert k ->
             incr seq;
             let v = Driver.value_of ~tid ~seq:!seq in
             let s = Router.shard_of_key router k in
             Sim.Sched.charge (hop s);
-            ignore (admit ~tid s { arrival = t_send; req = R_upsert (k, v) })
+            ignore
+              (admit ~tid s
+                 {
+                   arrival = t_send;
+                   req = R_upsert (k, v);
+                   cell = mk_cell ~client:c ~seq:!rix ~op:1;
+                 })
         | Ycsb.Workload.Scan (start, len) ->
             let lo = start and hi = start + len - 1 in
             let parts = Router.shards_of_range router ~lo ~hi in
@@ -278,7 +454,14 @@ let run (cfg : Config.t) =
                 if
                   not
                     (admit ~tid s
-                       { arrival = t_send; req = R_scan_part (ctx, lo, hi) })
+                       {
+                         arrival = t_send;
+                         req = R_scan_part (ctx, lo, hi);
+                         (* scans fan out and merge — their latency does not
+                            decompose into one linear phase chain, so they
+                            carry no span *)
+                         cell = None;
+                       })
                 then scan_part_resolved ctx ~failed:true ~part:[])
               parts)
       streams.(c);
@@ -294,17 +477,46 @@ let run (cfg : Config.t) =
         | _ -> None)
     in
     let ack e =
-      let lat = Sim.Sched.now () -. e.arrival in
+      let t_ack = Sim.Sched.now () in
+      let lat = t_ack -. e.arrival in
       H.add st.hist lat;
       st.comp <- st.comp + 1;
       match e.req with
       | R_read _ | R_upsert _ ->
           H.add merged lat;
-          incr completed
+          incr completed;
+          finalize_span ~shard:s e t_ack lat
       | R_scan_part _ -> ()
+    in
+    (* span scratch writes around this request's own structure op: exec
+       boundary timestamps plus per-fiber counter deltas (flushes, fences,
+       load misses) attributed to the op *)
+    let exec_begin e =
+      match e.cell with
+      | Some cl ->
+          cl.c_exec0 <- Sim.Sched.now ();
+          cl.c_flush0 <- Obs.counter ~tid Obs.id_flush;
+          cl.c_fence0 <- Obs.counter ~tid Obs.id_fence;
+          cl.c_miss0 <- Obs.counter ~tid Obs.id_load_miss
+      | None -> ()
+    in
+    let exec_end e =
+      match e.cell with
+      | Some cl ->
+          cl.c_exec1 <- Sim.Sched.now ();
+          cl.c_flushes <- Obs.counter ~tid Obs.id_flush - cl.c_flush0;
+          cl.c_fences <- Obs.counter ~tid Obs.id_fence - cl.c_fence0;
+          cl.c_misses <- Obs.counter ~tid Obs.id_load_miss - cl.c_miss0
+      | None -> ()
     in
     let process_batch () =
       let entries = Bqueue.pop_up_to st.q cfg.batch in
+      (if spans_on then
+         let t_pop = Sim.Sched.now () in
+         List.iter
+           (fun e ->
+             match e.cell with Some cl -> cl.c_pop <- t_pop | None -> ())
+           entries);
       st.batches <- st.batches + 1;
       Obs.bump ~tid Obs.id_svc_batch;
       Sim.Sched.charge
@@ -315,10 +527,14 @@ let run (cfg : Config.t) =
         (fun e ->
           match e.req with
           | R_read k ->
+              exec_begin e;
               ignore (st.kv.Kv.search ~tid k);
+              exec_end e;
               ack e
           | R_upsert (k, v) ->
+              exec_begin e;
               ignore (st.kv.Kv.upsert ~tid k v);
+              exec_end e;
               durable := e :: !durable
           | R_scan_part (ctx, lo, hi) ->
               let part = st.kv.Kv.range ~tid ~lo ~hi in
@@ -330,9 +546,20 @@ let run (cfg : Config.t) =
       match !durable with
       | [] -> ()
       | ds ->
+          let t_f0 = Sim.Sched.now () in
           Sim.Sched.fence ();
           st.flushes <- st.flushes + 1;
           Obs.bump ~tid Obs.id_svc_group_flush;
+          if spans_on then begin
+            let t_f1 = Sim.Sched.now () in
+            let d_f = t_f1 -. t_f0 in
+            List.iter
+              (fun e ->
+                match e.cell with Some cl -> cl.c_fence <- d_f | None -> ())
+              ds;
+            let w = win_of t_f1 in
+            w.aw_fences <- w.aw_fences + 1
+          end;
           List.iter ack (List.rev ds)
     in
     let do_crash () =
@@ -352,6 +579,7 @@ let run (cfg : Config.t) =
       st.kv.Kv.reconnect ();
       Sim.Sched.charge (Crash_test.pool_open_ns ~pools:st.kv.Kv.pools);
       st.kv.Kv.recover ~tid;
+      st.down_at <- t0;
       st.down_ns <- Sim.Sched.now () -. t0;
       Array.iteri (fun i sti -> in_outage.(i) <- sti.comp - before.(i)) states
     in
@@ -411,6 +639,67 @@ let run (cfg : Config.t) =
           m + c.Pmem.load_misses + c.Pmem.store_misses + c.Pmem.dirty_flushes ))
       (0, 0) states
   in
+  let depth_series = List.rev !samples in
+  let windows =
+    if not spans_on then []
+    else begin
+      (* make sure the window array covers the monitor's whole sampling
+         range, then fold the depth samples into per-window means *)
+      List.iter (fun (t, _) -> ignore (win_of t)) depth_series;
+      let arr = !wins in
+      let n = Array.length arr in
+      let dep_sum = Array.make n 0.0 and dep_n = Array.make n 0 in
+      List.iter
+        (fun (t, depths) ->
+          let idx = max 0 (int_of_float (t /. cfg.window_ns)) in
+          if idx < n then begin
+            dep_sum.(idx) <-
+              dep_sum.(idx) +. float_of_int (Array.fold_left ( + ) 0 depths);
+            dep_n.(idx) <- dep_n.(idx) + 1
+          end)
+        depth_series;
+      List.init n (fun i ->
+          let w = arr.(i) in
+          {
+            Slo.w_idx = i;
+            w_completed = w.aw_completed;
+            w_shed = w.aw_shed;
+            w_fences = w.aw_fences;
+            w_depth =
+              (if dep_n.(i) = 0 then 0.0
+               else dep_sum.(i) /. float_of_int dep_n.(i));
+            w_phase = w.aw_phase;
+          })
+    end
+  in
+  let outages =
+    List.filter_map
+      (fun i ->
+        let st = states.(i) in
+        if st.down_ns > 0.0 then
+          Some (i, st.down_at, st.down_at +. st.down_ns)
+        else None)
+      (List.init cfg.shards Fun.id)
+  in
+  let spans =
+    match coll with
+    | None -> None
+    | Some c ->
+        Some
+          {
+            Slo.sp_count = Obs.Span.count c;
+            sp_top = Obs.Span.tops c;
+            sp_sample = Obs.Span.sampled c;
+            sp_phase_hist = phase_hists;
+            sp_phase_sum = Obs.Span.phase_totals c;
+            sp_lat_sum = Obs.Span.lat_total c;
+            sp_fence_sum = Obs.Span.fence_total c;
+            sp_recovery_sum = Obs.Span.recovery_total c;
+            sp_residual_max = Obs.Span.residual_max c;
+            sp_residual_violations = Obs.Span.residual_violations c;
+            sp_outages = outages;
+          }
+  in
   let shard_reports =
     Array.to_list
       (Array.mapi
@@ -454,5 +743,8 @@ let run (cfg : Config.t) =
       (if media = 0 then 0.0 else float_of_int remote /. float_of_int media);
     merged;
     shard_reports;
-    depth_series = List.rev !samples;
+    depth_series;
+    window_ns = cfg.window_ns;
+    windows;
+    spans;
   }

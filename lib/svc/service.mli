@@ -21,7 +21,17 @@
     (dropping unflushed lines), loses its queued backlog, reconnects, pays
     the pool-reopen cost and runs structure recovery in-line, then resumes
     serving. Other shards keep serving throughout; the report records each
-    shard's completions inside the outage window. *)
+    shard's completions inside the outage window.
+
+    With [cfg.spans] on, every completed read/upsert additionally records
+    a {!Obs.Span.t}: a hop/queue/batch/exec/commit decomposition of its
+    latency (summing to the SLO-recorded value exactly at ns resolution),
+    its group-commit fence wait, the overlap of its queue wait with the
+    shard's recovery outage, and the PMEM counter deltas of its own
+    structure operation — plus the windowed SLO time-series
+    ({!Slo.window}). Span recording is host-side only: the simulated run,
+    and therefore every non-span report field, is byte-identical with
+    spans on or off. *)
 
 val run : Config.t -> Slo.t
 (** One full run: per-shard preload of keys [1..n_initial] (hash-routed),

@@ -34,6 +34,37 @@ type shard_report = {
   shard_lat : Sim.Histogram.t;  (** per-sub-request service latency *)
 }
 
+type window = {
+  w_idx : int;  (** window index; window [i] covers [[i*w, (i+1)*w)] ns *)
+  w_completed : int;  (** read/upsert acks inside the window *)
+  w_shed : int;
+  w_fences : int;  (** group-commit fences *)
+  w_depth : float;  (** mean total queue depth over the monitor samples *)
+  w_phase : Sim.Histogram.t array;
+      (** per-phase latency of the requests acked in this window *)
+}
+
+type span_summary = {
+  sp_count : int;  (** spans recorded (every completed read/upsert) *)
+  sp_top : Obs.Span.t list;  (** slowest retained spans, slowest first *)
+  sp_sample : Obs.Span.t list;  (** seeded reservoir over all spans *)
+  sp_phase_hist : Sim.Histogram.t array;  (** per-phase, all spans *)
+  sp_phase_sum : float array;
+  sp_lat_sum : float;
+  sp_fence_sum : float;
+  sp_recovery_sum : float;
+  sp_residual_max : float;  (** worst |Σphases − latency|, ns *)
+  sp_residual_violations : int;  (** spans with residual > 1e-6 ns *)
+  sp_outages : (int * float * float) list;
+      (** (shard, outage start, outage end) for crashed shards *)
+}
+
+val merge_summaries : span_summary list -> span_summary
+(** Exact aggregate over independent runs (crash-grid trials): histograms
+    and sums merge, the top list is the slowest-N of the union, samples
+    and outages concatenate in run order. Deterministic given the input
+    order. *)
+
 type t = {
   config_summary : (string * string) list;
       (** ordered, deterministic key/value rendering of the config *)
@@ -59,10 +90,28 @@ type t = {
   shard_reports : shard_report list;
   depth_series : (float * int array) list;
       (** (time, per-shard queue depth) samples, ascending in time *)
+  window_ns : float;  (** windowing period of [windows] *)
+  windows : window list;  (** ascending by index; empty when spans off *)
+  spans : span_summary option;  (** [Some] iff the config enabled spans *)
 }
 
 val to_json : t -> string
-(** Canonical JSON (fixed key order, fixed number formatting). *)
+(** Canonical JSON (fixed key order, fixed number formatting); top-level
+    [schema]/[schema_version] identify the layout. *)
+
+val spans_to_json : t -> string
+(** Standalone span-summary document (schema [upskip-svc-spans/1]):
+    config, end-to-end latency, windowed time-series, and the span
+    summary. Byte-deterministic like {!to_json}. *)
 
 val pp : Format.formatter -> t -> unit
-(** Human-readable table: totals, merged percentiles, one row per shard. *)
+(** Human-readable table: totals, merged percentiles, one row per shard;
+    when spans were recorded, followed by the tail-anatomy breakdown
+    ({!pp_anatomy}). *)
+
+val pp_anatomy :
+  Format.formatter -> merged:Sim.Histogram.t -> span_summary -> unit
+(** Conservation line, outage windows, and the per-phase mean breakdown
+    for the all/p99+/p99.9+ latency cohorts (cohort thresholds from
+    [merged]), ending with the p99.9 cohort's excess-latency attribution
+    to named phases. *)

@@ -178,7 +178,85 @@ let test_latency_table_agreement () =
         <= Sim.Histogram.max_rel_error +. 0.002))
     [ 50.0; 90.0; 99.0; 99.9 ]
 
+(* ---- spans ---------------------------------------------------------------- *)
+
+(* A span whose phases sum exactly to [lat] (single non-zero phase, so
+   float addition cannot disturb the total). *)
+let mk_span ?(client = 1) ?(seq = 0) ~lat () =
+  {
+    Obs.Span.sp_id = Obs.Span.id ~client ~seq;
+    sp_client = client;
+    sp_seq = seq;
+    sp_shard = 0;
+    sp_op = 0;
+    sp_arrival = 0.0;
+    sp_lat = lat;
+    sp_phase = [| 0.0; lat; 0.0; 0.0; 0.0 |];
+    sp_fence = 0.0;
+    sp_recovery = 0.0;
+    sp_flushes = 0;
+    sp_fences = 0;
+    sp_load_misses = 0;
+  }
+
+let test_span_id_encoding () =
+  check_int "id packs client and seq" ((3 lsl 24) lor 5)
+    (Obs.Span.id ~client:3 ~seq:5);
+  check_int "seq masked to 24 bits" ((1 lsl 24) lor 1)
+    (Obs.Span.id ~client:1 ~seq:((1 lsl 24) + 1))
+
+(* The collector keeps the slowest [top] spans (ties broken by id) and
+   sums every recorded span into the phase totals. *)
+let test_span_collector_topk () =
+  let c = Obs.Span.create ~top:4 ~sample:0 ~seed:9 () in
+  List.iter
+    (fun lat -> Obs.Span.record c (mk_span ~seq:(int_of_float lat) ~lat ()))
+    [ 30.0; 80.0; 10.0; 100.0; 50.0; 90.0; 20.0; 70.0; 40.0; 60.0 ];
+  check_int "count sees every span" 10 (Obs.Span.count c);
+  let tops = List.map (fun s -> s.Obs.Span.sp_lat) (Obs.Span.tops c) in
+  check_bool "slowest four, slowest first" true
+    (tops = [ 100.0; 90.0; 80.0; 70.0 ]);
+  check_bool "latency total over all spans" true
+    (Obs.Span.lat_total c = 550.0);
+  check_bool "phase totals over all spans" true
+    ((Obs.Span.phase_totals c).(Obs.Span.ph_queue) = 550.0);
+  check_int "no residual violations" 0 (Obs.Span.residual_violations c)
+
+(* The reservoir is driven by a seeded stream: same seed, same sample. *)
+let test_span_reservoir_deterministic () =
+  let fill seed =
+    let c = Obs.Span.create ~top:2 ~sample:8 ~seed () in
+    for i = 0 to 199 do
+      Obs.Span.record c (mk_span ~seq:i ~lat:(float_of_int (100 + i)) ())
+    done;
+    List.map (fun s -> s.Obs.Span.sp_seq) (Obs.Span.sampled c)
+  in
+  let a = fill 42 and b = fill 42 in
+  check_int "reservoir at capacity" 8 (List.length a);
+  check_bool "same seed, same sample" true (a = b);
+  check_bool "different seed, different sample" true (a <> fill 43)
+
+(* A span whose phases do not telescope to its latency is flagged. *)
+let test_span_residual_violation () =
+  let c = Obs.Span.create ~top:4 ~sample:0 ~seed:1 () in
+  Obs.Span.record c (mk_span ~lat:100.0 ());
+  check_int "exact span is clean" 0 (Obs.Span.residual_violations c);
+  check_bool "zero residual" true (Obs.Span.residual_max c = 0.0);
+  let broken = { (mk_span ~seq:1 ~lat:100.0 ()) with Obs.Span.sp_lat = 101.0 } in
+  Obs.Span.record c broken;
+  check_int "mismatched span is flagged" 1 (Obs.Span.residual_violations c);
+  check_bool "residual magnitude" true
+    (abs_float (Obs.Span.residual_max c -. 1.0) < 1e-9)
+
 (* ---- trace ring ----------------------------------------------------------- *)
+
+let contains json needle =
+  let n = String.length needle in
+  let rec scan i =
+    i + n <= String.length json
+    && (String.sub json i n = needle || scan (i + 1))
+  in
+  scan 0
 
 let test_trace_ring_drop () =
   Obs.Trace.start ~capacity:8 ();
@@ -189,15 +267,89 @@ let test_trace_ring_drop () =
   Obs.Trace.stop ();
   check_int "retained" 8 (Obs.Trace.recorded ());
   check_int "dropped" 12 (Obs.Trace.dropped ());
+  check_int "total emitted" 20 (Obs.Trace.total_emitted ());
   let json = Obs.Trace.to_chrome_string () in
-  check_bool "reports drops" true
-    (let needle = "\"droppedEvents\":12" in
-     let n = String.length needle in
-     let rec scan i =
-       i + n <= String.length json
-       && (String.sub json i n = needle || scan (i + 1))
-     in
-     scan 0);
+  check_bool "reports drops" true (contains json "\"droppedEvents\":12");
+  check_bool "schema version" true (contains json "\"schema_version\":2");
+  Obs.Trace.clear ()
+
+(* After drop-oldest overflow the retained window is the newest [capacity]
+   events, oldest first. *)
+let test_trace_surviving_window () =
+  Obs.Trace.start ~capacity:8 ();
+  for i = 1 to 20 do
+    Obs.Trace.emit ~ts:(float_of_int i) ~tid:0 ~kind:Obs.Trace.k_resume ~arg:i
+      ~farg:0.0
+  done;
+  Obs.Trace.stop ();
+  let seen = ref [] in
+  Obs.Trace.iter_retained (fun ~ts ~tid:_ ~kind:_ ~arg:_ ~farg:_ ->
+      seen := ts :: !seen);
+  check_bool "window is events 13..20 in order" true
+    (List.rev !seen = List.init 8 (fun i -> float_of_int (13 + i)));
+  Obs.Trace.clear ()
+
+(* capture/absorb must reproduce a ring byte-for-byte in a fresh ring of
+   the same capacity — including the overwritten-prefix accounting. This
+   is the primitive Sim.Pool uses to merge worker-domain traces. *)
+let test_trace_capture_absorb_roundtrip () =
+  Obs.Trace.start ~capacity:8 ();
+  for i = 1 to 20 do
+    Obs.Trace.emit ~ts:(float_of_int i) ~tid:0 ~kind:Obs.Trace.k_resume ~arg:i
+      ~farg:0.0
+  done;
+  Obs.Trace.stop ();
+  let json_live = Obs.Trace.to_chrome_string () in
+  let seg = Obs.Trace.capture ~since:0 in
+  Obs.Trace.start ~capacity:8 ();
+  Obs.Trace.absorb seg;
+  Obs.Trace.stop ();
+  check_int "recorded after absorb" 8 (Obs.Trace.recorded ());
+  check_int "dropped after absorb" 12 (Obs.Trace.dropped ());
+  check_int "total emitted after absorb" 20 (Obs.Trace.total_emitted ());
+  check_bool "absorbed ring renders identically" true
+    (String.equal json_live (Obs.Trace.to_chrome_string ()));
+  Obs.Trace.clear ()
+
+(* A mid-stream cursor captures only the live suffix past it. *)
+let test_trace_capture_mid_stream () =
+  Obs.Trace.start ~capacity:8 ();
+  for i = 1 to 20 do
+    Obs.Trace.emit ~ts:(float_of_int i) ~tid:0 ~kind:Obs.Trace.k_resume ~arg:i
+      ~farg:0.0
+  done;
+  Obs.Trace.stop ();
+  (* stream indices 0..19; index >= 15 means events ts 16..20, none lost *)
+  let seg = Obs.Trace.capture ~since:15 in
+  Obs.Trace.start ~capacity:8 ();
+  Obs.Trace.absorb seg;
+  Obs.Trace.stop ();
+  check_int "five live events" 5 (Obs.Trace.recorded ());
+  check_int "nothing dropped" 0 (Obs.Trace.dropped ());
+  let seen = ref [] in
+  Obs.Trace.iter_retained (fun ~ts ~tid:_ ~kind:_ ~arg:_ ~farg:_ ->
+      seen := ts :: !seen);
+  check_bool "suffix 16..20" true
+    (List.rev !seen = [ 16.0; 17.0; 18.0; 19.0; 20.0 ]);
+  Obs.Trace.clear ()
+
+(* The extended exporter: counter tracks and request-phase async pairs,
+   byte-identical across renders. *)
+let test_chrome_counters_and_phases () =
+  Obs.Trace.start ~capacity:64 ();
+  Obs.Trace.emit ~ts:1000.0 ~tid:0 ~kind:Obs.Trace.k_req_phase
+    ~arg:((Obs.Span.id ~client:2 ~seq:7 lsl 3) lor Obs.Span.ph_queue)
+    ~farg:500.0;
+  Obs.Trace.stop ();
+  let tracks = [ ("ops/window", [ (0.0, 1.0); (20_000.0, 3.0) ]) ] in
+  let j1 = Obs.Trace.to_chrome_string ~counter_tracks:tracks () in
+  let j2 = Obs.Trace.to_chrome_string ~counter_tracks:tracks () in
+  check_bool "byte-identical across renders" true (String.equal j1 j2);
+  check_bool "counter track" true (contains j1 "\"ph\":\"C\"");
+  check_bool "counter name" true (contains j1 "\"ops/window\"");
+  check_bool "phase begin" true (contains j1 "\"ph\":\"b\"");
+  check_bool "phase end" true (contains j1 "\"ph\":\"e\"");
+  check_bool "request category" true (contains j1 "\"cat\":\"req\"");
   Obs.Trace.clear ()
 
 let run_traced seed =
@@ -296,9 +448,20 @@ let () =
           case "sample capture" test_report_samples;
           case "latency table agreement" test_latency_table_agreement;
         ] );
+      ( "spans",
+        [
+          case "id encoding" test_span_id_encoding;
+          case "collector top-k" test_span_collector_topk;
+          case "reservoir deterministic" test_span_reservoir_deterministic;
+          case "residual violation" test_span_residual_violation;
+        ] );
       ( "trace",
         [
           case "ring drop" test_trace_ring_drop;
+          case "surviving window" test_trace_surviving_window;
+          case "capture/absorb roundtrip" test_trace_capture_absorb_roundtrip;
+          case "capture mid-stream" test_trace_capture_mid_stream;
+          case "chrome counters and phases" test_chrome_counters_and_phases;
           case "determinism" test_trace_determinism;
           case "digest decomposition" test_digest_decomposition;
         ] );

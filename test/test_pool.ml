@@ -186,19 +186,42 @@ let test_nested_pool_runs_sequentially () =
     [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ]
     outer
 
-(* ---- trace guard ----------------------------------------------------------- *)
+(* ---- trace merge ----------------------------------------------------------- *)
 
-let test_trace_forces_sequential () =
-  (* with tracing on, jobs stay on the calling domain so every event is
-     recorded; the easiest observable: the trace sees events from the jobs *)
-  Obs.Trace.start ~capacity:4096 ();
-  let before = Obs.Trace.recorded () in
-  ignore (Sim.Pool.run ~jobs:4 [ trial_job 5001; trial_job 5002 ]);
-  let after = Obs.Trace.recorded () in
+(* With tracing on, pool workers record into per-domain rings of the
+   caller's capacity and the caller absorbs each job's captured segment in
+   job order — so the final ring (event window, drop accounting, exported
+   JSON) must be byte-identical to a sequential traced run. *)
+let traced_run ~jobs ~capacity =
+  Obs.Trace.start ~capacity ();
+  ignore (Sim.Pool.run ~jobs [ trial_job 5001; trial_job 5002; trial_job 5003 ]);
   Obs.Trace.stop ();
+  let recorded = Obs.Trace.recorded () in
+  let dropped = Obs.Trace.dropped () in
+  let json = Obs.Trace.to_chrome_string () in
   Obs.Trace.clear ();
-  Alcotest.(check bool) "trace recorded the pooled jobs' events" true
-    (after > before)
+  (recorded, dropped, json)
+
+let test_trace_merge_parity () =
+  let r1, d1, j1 = traced_run ~jobs:1 ~capacity:(1 lsl 15) in
+  let r4, d4, j4 = traced_run ~jobs:4 ~capacity:(1 lsl 15) in
+  Alcotest.(check bool) "trace recorded the pooled jobs' events" true (r1 > 0);
+  Alcotest.(check int) "recorded identical for -j1 and -j4" r1 r4;
+  Alcotest.(check int) "dropped identical for -j1 and -j4" d1 d4;
+  Alcotest.(check bool) "chrome JSON byte-identical for -j1 and -j4" true
+    (String.equal j1 j4)
+
+(* Same parity when the ring overflows mid-stream: the surviving window
+   and the drop counter must agree, not just the event count. *)
+let test_trace_merge_overflow_parity () =
+  let r1, d1, j1 = traced_run ~jobs:1 ~capacity:512 in
+  let r4, d4, j4 = traced_run ~jobs:4 ~capacity:512 in
+  Alcotest.(check int) "ring filled to capacity" 512 r1;
+  Alcotest.(check bool) "events were dropped" true (d1 > 0);
+  Alcotest.(check int) "recorded identical for -j1 and -j4" r1 r4;
+  Alcotest.(check int) "dropped identical for -j1 and -j4" d1 d4;
+  Alcotest.(check bool) "surviving window byte-identical for -j1 and -j4" true
+    (String.equal j1 j4)
 
 let () =
   Alcotest.run "pool"
@@ -223,5 +246,8 @@ let () =
       ( "nesting",
         [ case "nested pool runs sequentially" test_nested_pool_runs_sequentially ] );
       ( "tracing",
-        [ slow_case "trace forces sequential" test_trace_forces_sequential ] );
+        [
+          slow_case "trace merge parity" test_trace_merge_parity;
+          slow_case "trace merge overflow parity" test_trace_merge_overflow_parity;
+        ] );
     ]

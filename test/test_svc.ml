@@ -211,6 +211,81 @@ let test_svc_crash_recovery () =
   check_bool "service goodput survived" true (r.Slo.completed > 0);
   check_conservation r
 
+(* ---- spans ---------------------------------------------------------------- *)
+
+(* Span recording is host-side instrumentation: turning it on must not
+   perturb the simulated run in any observable way. *)
+let test_svc_spans_transparent () =
+  let off = Service.run base in
+  let on = Service.run { base with Config.spans = true } in
+  check_bool "no summary when off" true (off.Slo.spans = None);
+  check_bool "summary when on" true (on.Slo.spans <> None);
+  check_int "requests identical" off.Slo.requests on.Slo.requests;
+  check_int "completed identical" off.Slo.completed on.Slo.completed;
+  check_int "shed identical" off.Slo.shed on.Slo.shed;
+  check_bool "simulated span identical" true (off.Slo.span_ns = on.Slo.span_ns);
+  check_bool "goodput identical" true
+    (off.Slo.goodput_mops = on.Slo.goodput_mops);
+  check_bool "depth series identical" true
+    (off.Slo.depth_series = on.Slo.depth_series)
+
+(* Every completed request's phases must telescope to its SLO latency
+   exactly, and the windowed series must partition the completions. *)
+let test_svc_span_conservation () =
+  let r =
+    Service.run { base with Config.spans = true; workload = Ycsb.Workload.a }
+  in
+  match r.Slo.spans with
+  | None -> Alcotest.fail "no span summary"
+  | Some sp ->
+      check_int "one span per completed request" r.Slo.completed
+        sp.Slo.sp_count;
+      check_int "zero residual violations" 0 sp.Slo.sp_residual_violations;
+      check_bool "zero max residual" true (sp.Slo.sp_residual_max <= 1e-6);
+      let phase_total = Array.fold_left ( +. ) 0.0 sp.Slo.sp_phase_sum in
+      check_bool "phase totals sum to latency total" true
+        (abs_float (phase_total -. sp.Slo.sp_lat_sum) <= 1e-3);
+      check_bool "windows present" true (r.Slo.windows <> []);
+      check_int "windows partition completions" r.Slo.completed
+        (List.fold_left (fun a w -> a + w.Slo.w_completed) 0 r.Slo.windows)
+
+(* During a power-fail campaign the queue-wait of requests stuck behind
+   the outage is attributed to recovery overlap. *)
+let test_svc_span_recovery_attribution () =
+  let cfg =
+    {
+      base with
+      Config.shards = 4;
+      zones = 4;
+      clients = 4;
+      requests_per_client = 400;
+      offered_mops = 4.0;
+      workload = Ycsb.Workload.a;
+      queue_cap = 64;
+      spans = true;
+      crash = Some { Config.crash_shard = 1; crash_at_ns = 50_000.0 };
+    }
+  in
+  let r = Service.run cfg in
+  match r.Slo.spans with
+  | None -> Alcotest.fail "no span summary"
+  | Some sp ->
+      check_int "zero violations under crash" 0 sp.Slo.sp_residual_violations;
+      check_bool "recovery overlap attributed" true
+        (sp.Slo.sp_recovery_sum > 0.0);
+      check_bool "outage window recorded" true (sp.Slo.sp_outages <> []);
+      (* the overlap is a sub-attribution inside the queue phase *)
+      check_bool "overlap bounded by queue time" true
+        (sp.Slo.sp_recovery_sum <= sp.Slo.sp_phase_sum.(Obs.Span.ph_queue))
+
+let test_svc_span_json_determinism () =
+  let json () =
+    Slo.spans_to_json (Service.run { base with Config.spans = true })
+  in
+  let a = json () in
+  check_bool "non-trivial document" true (String.length a > 500);
+  Alcotest.(check string) "byte-identical span JSON" a (json ())
+
 let test_svc_validation () =
   let bad cfg =
     match Config.validate cfg with Ok () -> false | Error _ -> true
@@ -249,5 +324,12 @@ let () =
           case "delay backpressure" test_svc_delay_policy;
           slow_case "one-shard crash recovery" test_svc_crash_recovery;
           case "config validation" test_svc_validation;
+        ] );
+      ( "spans",
+        [
+          case "spans are transparent" test_svc_spans_transparent;
+          case "span conservation" test_svc_span_conservation;
+          slow_case "recovery attribution" test_svc_span_recovery_attribution;
+          case "span JSON determinism" test_svc_span_json_determinism;
         ] );
     ]

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Span conservation gate: run the service simulation with span recording
+# on the smoke workloads and fail unless every recorded span's phase
+# durations sum to its SLO-recorded end-to-end latency exactly (at ns
+# resolution: max residual 0.000000 ns, zero violations), and at least
+# one span was actually recorded.
+#
+# Usage: check_span_conservation.sh <path-to-upskip_cli>
+set -eu
+
+CLI="$1"
+tmp="${TMPDIR:-/tmp}/span_conservation.$$"
+mkdir -p "$tmp"
+trap 'rm -rf "$tmp"' EXIT
+
+check() {
+  wl="$1"
+  out="$tmp/spans_$wl.json"
+  "$CLI" serve-sim --workload "$wl" --clients 8 --requests 128 --seed 42 \
+    --spans --span-json "$out" >"$tmp/stdout_$wl" 2>&1
+  grep -q '"residual_violations":0[,}]' "$out" || {
+    echo "FAIL: workload $wl: residual_violations != 0" >&2
+    exit 1
+  }
+  grep -q '"residual_max_ns":0.000000' "$out" || {
+    echo "FAIL: workload $wl: residual_max_ns != 0.000000" >&2
+    exit 1
+  }
+  count=$(sed -n 's/.*"count":\([0-9][0-9]*\).*/\1/p' "$out" | head -1)
+  [ "${count:-0}" -gt 0 ] || {
+    echo "FAIL: workload $wl: no spans recorded" >&2
+    exit 1
+  }
+  echo "ok: workload $wl: $count spans, residual 0.000000 ns, 0 violations"
+}
+
+check c
+check a
+echo "span conservation holds"
