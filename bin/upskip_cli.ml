@@ -487,7 +487,8 @@ let recovery_term =
 
 let serve_cmd structure shards zones clients requests load arrival workload
     batch queue_cap policy keys latency shard_mode shard_nodes seed crash_shard
-    crash_at_us json_out spans window_us span_json trace_out trace_capacity =
+    crash_at_us json_out spans window_us span_json trace_out trace_capacity
+    detect =
   let ( let* ) r f =
     match r with
     | Error e ->
@@ -550,6 +551,7 @@ let serve_cmd structure shards zones clients requests load arrival workload
       crash;
       spans = spans || span_json <> None;
       window_ns = window_us *. 1_000.0;
+      detect;
     }
   in
   let* () = Svc.Config.validate cfg in
@@ -682,13 +684,24 @@ let serve_trace_t =
            trace_event JSON (with windowed counter tracks when --spans) \
            here.")
 
+let detect_t =
+  Arg.(
+    value & flag
+    & info [ "detect" ]
+        ~doc:
+          "Detectable operations: clients stamp per-connection sequence \
+           numbers, upserts announce a persistent descriptor before \
+           executing, and after a shard power failure stranded requests are \
+           decided through their descriptors (acked if applied, replayed \
+           exactly once if not).")
+
 let serve_term =
   Term.(
     const serve_cmd $ structure_t $ shards_t $ zones_t $ clients_t $ requests_t
     $ load_t $ arrival_t $ workload_t $ batch_t $ queue_cap_t $ policy_t
     $ keys_t $ latency_t $ mode_t $ shard_nodes_t $ seed_t $ crash_shard_t
     $ crash_at_t $ serve_json_t $ spans_t $ window_us_t $ span_json_t
-    $ serve_trace_t $ trace_capacity_t)
+    $ serve_trace_t $ trace_capacity_t $ detect_t)
 
 (* ---- tail-anatomy -------------------------------------------------------------- *)
 
@@ -821,6 +834,150 @@ let tail_term =
     $ load_t $ workload_t $ keys_t $ seed_t $ tail_crash_shard_t $ origin_us_t
     $ stride_us_t $ points_t $ jitter_us_t $ jobs_t $ tail_json_t)
 
+(* ---- detect-campaign ----------------------------------------------------------- *)
+
+(* Exactly-once crash-replay campaign: the adversarial crash sweep with
+   detectable operations on, so every trial additionally replays unacked
+   ops through their persistent descriptors and runs the exactly-once
+   history analysis (an op completes exactly once if acked, at most once
+   if not). Deterministic for any -j; --json-out writes a stable summary
+   for the runtest gate. *)
+let detect_campaign_cmd structure mode latency threads keyspace ops rounds depth
+    evict draws origin stride points jitter seed mutant jobs json_out =
+  match
+    base_spec structure mode latency threads keyspace ops rounds depth evict seed
+      mutant
+  with
+  | Error e ->
+      Fmt.epr "detect-campaign: %s@." e;
+      2
+  | Ok base ->
+      let base = { base with Fault.detect = true } in
+      let campaign =
+        { Fault.base; grid = { Fault.origin; stride; points; jitter }; draws }
+      in
+      Fmt.pr
+        "exactly-once crash-replay campaign on %s: %d points x %d draws, \
+         depth %d, mutant %s@."
+        base.Fault.structure points draws depth base.Fault.mutant;
+      let s = Fault.run_campaign ~jobs campaign in
+      Fault.print_summary ~name:base.Fault.structure s;
+      report_failures ~shrink:false s.Fault.failures;
+      (match json_out with
+      | Some path ->
+          let buf = Buffer.create 512 in
+          Buffer.add_string buf
+            "{\"schema\":\"upskip-detect-campaign/1\",\"schema_version\":1";
+          Printf.bprintf buf ",\"structure\":\"%s\",\"mutant\":\"%s\""
+            base.Fault.structure base.Fault.mutant;
+          Printf.bprintf buf
+            ",\"trials\":%d,\"crashed_trials\":%d,\"total_crashes\":%d"
+            s.Fault.trials s.Fault.crashed_trials s.Fault.total_crashes;
+          Printf.bprintf buf
+            ",\"audit_passes\":%d,\"audit_failures\":%d,\"violation_trials\":%d"
+            s.Fault.audit_passes s.Fault.audit_failures s.Fault.violation_trials;
+          Printf.bprintf buf ",\"replays\":%d,\"suppressions\":%d"
+            s.Fault.replays s.Fault.suppressions;
+          Buffer.add_string buf ",\"failures\":[";
+          List.iteri
+            (fun i ((spec : Fault.spec), _) ->
+              if i > 0 then Buffer.add_char buf ',';
+              Printf.bprintf buf "\"%s\"" (Fault.spec_to_string spec))
+            s.Fault.failures;
+          Buffer.add_string buf "]}\n";
+          let oc = open_out path in
+          Buffer.output_buffer oc buf;
+          close_out oc;
+          Fmt.pr "campaign summary written to %s@." path
+      | None -> ());
+      if s.Fault.failures = [] then 0 else 1
+
+let detect_json_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json-out" ]
+        ~doc:"Write the deterministic campaign summary JSON here.")
+
+let detect_campaign_term =
+  Term.(
+    const detect_campaign_cmd $ structure_t $ mode_t $ latency_t $ threads_t
+    $ keyspace_t $ sweep_ops_t $ rounds_t $ depth_t $ evict_t $ draws_t
+    $ origin_t $ stride_t $ points_t $ jitter_t $ seed_t $ mutant_t $ jobs_t
+    $ detect_json_t)
+
+(* ---- detect-bench --------------------------------------------------------------- *)
+
+(* Descriptor overhead: the same upsert stream with and without
+   announce/resolve, reporting simulated throughput plus fences and
+   flushes per op from the observability counters. *)
+let detect_bench_cmd threads keys ops seed json_out =
+  let run ~detect =
+    let sys =
+      {
+        Kv.default_sys with
+        latency = Pmem.Latency.uniform;
+        pool_words = 1 lsl 22;
+        seed;
+      }
+    in
+    let kv =
+      if detect then Kv.make_upskiplist ~detect_clients:threads sys
+      else Kv.make_upskiplist sys
+    in
+    Driver.preload kv ~threads:(min threads 8) ~n:keys;
+    Obs.reset ();
+    let per = max 1 (ops / threads) in
+    let body ~tid =
+      for j = 0 to per - 1 do
+        let k = 1 + ((tid * 7919 + j * 104729) mod keys) in
+        let v = 1 + tid + (threads * j) in
+        if detect then
+          ignore (Kv.d_upsert kv ~tid ~client:tid ~seq:(j + 1) k v)
+        else ignore (kv.Kv.upsert ~tid k v)
+      done
+    in
+    match
+      Sim.Sched.run ~machine:(Kv.machine kv)
+        (List.init threads (fun tid -> (tid, body)))
+    with
+    | Sim.Sched.Completed { time; _ } ->
+        let n = float_of_int (threads * per) in
+        ( threads * per,
+          time,
+          n /. time *. 1e3,
+          float_of_int (Obs.total Obs.id_fence) /. n,
+          float_of_int (Obs.total Obs.id_flush) /. n )
+    | Sim.Sched.Crashed_at _ -> failwith "unexpected crash"
+  in
+  let p_ops, p_ns, p_mops, p_fences, p_flushes = run ~detect:false in
+  let d_ops, d_ns, d_mops, d_fences, d_flushes = run ~detect:true in
+  assert (p_ops = d_ops);
+  Fmt.pr "descriptor overhead, %d threads, %d upserts:@." threads p_ops;
+  Fmt.pr "  plain   %.3f Mops/s  %.2f fences/op  %.2f flushes/op@." p_mops
+    p_fences p_flushes;
+  Fmt.pr "  detect  %.3f Mops/s  %.2f fences/op  %.2f flushes/op@." d_mops
+    d_fences d_flushes;
+  Fmt.pr "  overhead: %.1f%% throughput, +%.2f fences/op, +%.2f flushes/op@."
+    ((p_mops /. d_mops -. 1.0) *. 100.0)
+    (d_fences -. p_fences) (d_flushes -. p_flushes);
+  (match json_out with
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\"schema\":\"upskip-detect-bench/1\",\"schema_version\":1,\"threads\":%d,\"keys\":%d,\"ops\":%d,\"seed\":%d,\"plain\":{\"sim_ns\":%.0f,\"mops\":%.4f,\"fences_per_op\":%.4f,\"flushes_per_op\":%.4f},\"detect\":{\"sim_ns\":%.0f,\"mops\":%.4f,\"fences_per_op\":%.4f,\"flushes_per_op\":%.4f},\"overhead\":{\"throughput_pct\":%.2f,\"extra_fences_per_op\":%.4f,\"extra_flushes_per_op\":%.4f}}\n"
+        threads keys p_ops seed p_ns p_mops p_fences p_flushes d_ns d_mops
+        d_fences d_flushes
+        ((p_mops /. d_mops -. 1.0) *. 100.0)
+        (d_fences -. p_fences) (d_flushes -. p_flushes);
+      close_out oc;
+      Fmt.pr "bench written to %s@." path
+  | None -> ());
+  0
+
+let detect_bench_term =
+  Term.(
+    const detect_bench_cmd $ threads_t $ keys_t $ ops_t $ seed_t $ detect_json_t)
+
 (* ---- demo ---------------------------------------------------------------------- *)
 
 let demo_cmd () =
@@ -905,6 +1062,19 @@ let cmds =
             the p99/p99.9 latency cohorts to pipeline phases (queue wait, \
             recovery overlap, fence, ...).")
       tail_term;
+    Cmd.v
+      (Cmd.info "detect-campaign"
+         ~doc:
+           "Exactly-once crash-replay campaign: adversarial crash sweep with \
+            detectable operations, replaying unacked ops through persistent \
+            descriptors and checking exactly-once histories.")
+      detect_campaign_term;
+    Cmd.v
+      (Cmd.info "detect-bench"
+         ~doc:
+           "Measure detectable-operation overhead: throughput, fences/op and \
+            flushes/op with and without descriptors.")
+      detect_bench_term;
     Cmd.v (Cmd.info "demo" ~doc:"Small interactive walk-through.") demo_term;
   ]
 

@@ -48,7 +48,11 @@ type spec = {
   draw_seed : int;  (* persisted-state draws + recovery/round crash points *)
   seed : int;  (* workload streams *)
   audit : bool;
-  mutant : string;  (* none, or a Kv.corrupt mutation applied post-recovery *)
+  mutant : string;  (* none, or a Kv.corrupt mutation applied post-recovery;
+                       "skip_resolve" is special-cased: recovery omits the
+                       descriptor resolve pass (detect trials only) *)
+  detect : bool;  (* route upserts through per-client operation descriptors
+                     and replay/suppress them exactly-once after crashes *)
 }
 
 let default_spec =
@@ -68,6 +72,7 @@ let default_spec =
     seed = 42;
     audit = true;
     mutant = "none";
+    detect = false;
   }
 
 type result = {
@@ -81,6 +86,9 @@ type result = {
   crash_events : int;  (* events before the first crash; 0 = never crashed *)
   repairs : int;  (* lazy-recovery repairs (epoch claims, interrupted
                      splits, tower rebuilds) performed during the trial *)
+  replays : int;  (* interrupted detectable ops re-executed (Not_applied) *)
+  suppressions : int;  (* interrupted detectable ops NOT re-executed because
+                          the descriptor proved they took effect *)
   kv : Kv.t;
 }
 
@@ -94,33 +102,62 @@ let pool_open_ns ~pools = 45.0e6 +. (12.0e6 *. float_of_int (max 0 (pools - 1)))
 
 (* ---- operation recording (globally monotone timestamps across crashes) -- *)
 
+type pending_op = {
+  p_key : int;
+  p_value : int;
+  p_inv : float;
+  p_seq : int;  (* descriptor sequence number; -1 in non-detect trials *)
+  p_era : int;  (* era the op was invoked in *)
+}
+
 type recorder = {
   mutable events : History.event list;
   mutable base : float;
   mutable era : int;
   mutable next_value : int;
-  pending : (int * int * float) option array;  (* tid -> key, value, inv *)
+  pending : pending_op option array;  (* tid -> op in flight *)
+  seqs : int array;  (* tid -> next descriptor sequence number *)
 }
 
 let fresh_recorder ~max_threads =
-  { events = []; base = 0.0; era = 0; next_value = 1; pending = Array.make max_threads None }
+  {
+    events = [];
+    base = 0.0;
+    era = 0;
+    next_value = 1;
+    pending = Array.make max_threads None;
+    seqs = Array.make max_threads 1;
+  }
 
 let alloc_value r =
   let v = r.next_value in
   r.next_value <- v + 1;
   v
 
-(* Wrap one recorded upsert; safe against mid-operation crashes. *)
-let recorded_upsert r (kv : Kv.t) ~tid key =
+(* Wrap one recorded upsert; safe against mid-operation crashes. In detect
+   mode the op goes through its client's persistent descriptor (client =
+   tid) and the history event carries the (client, seq) identity. *)
+let recorded_upsert ?(detect = false) r (kv : Kv.t) ~tid key =
   let value = alloc_value r in
+  let seq =
+    if detect then begin
+      let s = r.seqs.(tid) in
+      r.seqs.(tid) <- s + 1;
+      s
+    end
+    else -1
+  in
   let inv = r.base +. Sim.Sched.now () in
-  r.pending.(tid) <- Some (key, value, inv);
-  let prev = kv.Kv.upsert ~tid key value in
+  r.pending.(tid) <- Some { p_key = key; p_value = value; p_inv = inv; p_seq = seq; p_era = r.era };
+  let prev =
+    if detect then Kv.d_upsert kv ~tid ~client:tid ~seq key value
+    else kv.Kv.upsert ~tid key value
+  in
   let res = r.base +. Sim.Sched.now () in
   r.pending.(tid) <- None;
-  r.events <-
-    History.completed_upsert ~tid ~key ~value ~prev ~inv ~res ~era:r.era
-    :: r.events
+  let ev = History.completed_upsert ~tid ~key ~value ~prev ~inv ~res ~era:r.era in
+  let ev = if detect then History.with_opid (tid, seq) ev else ev in
+  r.events <- ev :: r.events
 
 let recorded_read r (kv : Kv.t) ~tid key =
   let inv = r.base +. Sim.Sched.now () in
@@ -128,14 +165,18 @@ let recorded_read r (kv : Kv.t) ~tid key =
   let res = r.base +. Sim.Sched.now () in
   r.events <- History.completed_read ~tid ~key ~out ~inv ~res ~era:r.era :: r.events
 
-(* Sweep interrupted operations into pending events after a crash. *)
+(* Sweep interrupted operations into pending events after a crash
+   (non-detect trials: the outcome is genuinely unknown). *)
 let sweep_pending r =
   Array.iteri
     (fun tid slot ->
       match slot with
       | None -> ()
-      | Some (key, value, inv) ->
-          r.events <- History.pending_upsert ~tid ~key ~value ~inv ~era:r.era :: r.events;
+      | Some p ->
+          r.events <-
+            History.pending_upsert ~tid ~key:p.p_key ~value:p.p_value ~inv:p.p_inv
+              ~era:p.p_era
+            :: r.events;
           r.pending.(tid) <- None)
     r.pending
 
@@ -155,13 +196,19 @@ let run_trial ?mutant ~make (spec : spec) =
   let repairs_before = repair_total () in
   let kv : Kv.t = make () in
   let threads = spec.threads in
+  let detect = spec.detect in
   let r = fresh_recorder ~max_threads:threads in
   let rng = Sim.Rng.create spec.draw_seed in
   let machine = Kv.machine kv in
   let mutate =
     match mutant with
     | Some f -> f
-    | None -> fun (kv : Kv.t) -> spec.mutant <> "none" && kv.Kv.corrupt spec.mutant
+    | None ->
+        fun (kv : Kv.t) ->
+          (* "skip_resolve" is a harness mutant (the recovery fiber omits the
+             descriptor resolve pass), not a structure corruption *)
+          spec.mutant <> "none" && spec.mutant <> "skip_resolve"
+          && kv.Kv.corrupt spec.mutant
   in
   let advance_base outcome =
     let time =
@@ -197,7 +244,14 @@ let run_trial ?mutant ~make (spec : spec) =
         Sim.Sched.After_events (1 + Sim.Rng.int rng recovery_crash_window)
       else Sim.Sched.No_crash
     in
-    match Sim.Sched.run ~machine ~crash [ (0, fun ~tid -> kv.Kv.recover ~tid) ] with
+    let recover_body ~tid =
+      kv.Kv.recover ~tid;
+      (* resolve announced-but-unresolved descriptors (idempotent: a crash
+         inside this pass restarts it from scratch on the next recovery) *)
+      if detect && spec.mutant <> "skip_resolve" then
+        ignore (Kv.d_recover kv ~tid : int)
+    in
+    match Sim.Sched.run ~machine ~crash [ (0, recover_body) ] with
     | Sim.Sched.Completed { time; _ } as o ->
         advance_base o;
         recovery_ns := !recovery_ns +. pool_open_ns ~pools:kv.Kv.pools +. time
@@ -213,11 +267,67 @@ let run_trial ?mutant ~make (spec : spec) =
       audit_errors := !audit_errors @ kv.Kv.audit ()
     end
   in
+  let replays = ref 0 and suppressions = ref 0 in
+  (* Detect-mode crash resolution: decide every interrupted op from its
+     persistent descriptor, then re-execute exactly those that provably did
+     not take effect. Replays are fresh post-crash invocations carrying the
+     original (client, seq) identity, so a double apply — e.g. under the
+     skip_resolve mutant — breaks the unique-value chain and/or the
+     exactly-once identity discipline. *)
+  let resolve_and_replay () =
+    let to_replay = ref [] in
+    Array.iteri
+      (fun tid slot ->
+        match slot with
+        | None -> ()
+        | Some p -> (
+            r.pending.(tid) <- None;
+            match Kv.d_decide kv ~client:tid ~seq:p.p_seq with
+            | Detect.Applied prev ->
+                (* took effect before the crash: ack from the descriptor's
+                   saved result, no re-execution (duplicate suppressed) *)
+                incr suppressions;
+                r.events <-
+                  History.with_opid (tid, p.p_seq)
+                    (History.completed_upsert ~tid ~key:p.p_key ~value:p.p_value
+                       ~prev ~inv:p.p_inv ~res:r.base ~era:p.p_era)
+                  :: r.events
+            | Detect.Applied_unknown ->
+                (* applied, but the overwritten value is unrecoverable: no
+                   ack; recorded as an effective pending op *)
+                incr suppressions;
+                r.events <-
+                  History.with_opid (tid, p.p_seq)
+                    (History.pending_upsert ~tid ~key:p.p_key ~value:p.p_value
+                       ~inv:p.p_inv ~era:p.p_era)
+                  :: r.events
+            | Detect.Not_applied -> to_replay := (tid, p) :: !to_replay))
+      r.pending;
+    match !to_replay with
+    | [] -> ()
+    | ops ->
+        let replay_body p ~tid =
+          incr replays;
+          let inv = r.base +. Sim.Sched.now () in
+          r.pending.(tid) <- Some { p with p_inv = inv; p_era = r.era };
+          let prev = Kv.d_upsert kv ~tid ~client:tid ~seq:p.p_seq p.p_key p.p_value in
+          let res = r.base +. Sim.Sched.now () in
+          r.pending.(tid) <- None;
+          r.events <-
+            History.with_opid (tid, p.p_seq)
+              (History.completed_upsert ~tid ~key:p.p_key ~value:p.p_value ~prev
+                 ~inv ~res ~era:r.era)
+            :: r.events
+        in
+        advance_base
+          (Sim.Sched.run ~machine
+             (List.map (fun (tid, p) -> (tid, replay_body p)) ops))
+  in
   (* phase 1 (era 0): preload every key, recorded *)
   let preload_body ~tid =
     let i = ref (tid + 1) in
     while !i <= spec.keyspace do
-      recorded_upsert r kv ~tid !i;
+      recorded_upsert ~detect r kv ~tid !i;
       i := !i + threads
     done
   in
@@ -231,16 +341,25 @@ let run_trial ?mutant ~make (spec : spec) =
     let streams =
       Array.init threads (fun tid ->
           let trng = Sim.Rng.create (spec.seed + 1000 + (10_000 * round) + tid) in
+          (* Detect trials keep upsert keys disjoint per client (the preload
+             striping: tid owns {tid+1, tid+1+threads, ...}), so a probe of
+             the bottom level during descriptor resolution cannot be masked
+             by another client's concurrent write to the same key. Reads
+             still range over the whole keyspace. The non-detect draw
+             sequence is unchanged. *)
+          let owned = max 1 (((spec.keyspace - tid - 1) / threads) + 1) in
           Array.init spec.ops_per_thread (fun _ ->
               let key = 1 + Sim.Rng.int trng spec.keyspace in
               if Sim.Rng.float trng < spec.read_fraction then `Read key
+              else if detect then
+                `Upsert (tid + 1 + (threads * Sim.Rng.int trng owned))
               else `Upsert key))
     in
     let body ~tid =
       Array.iter
         (function
           | `Read key -> recorded_read r kv ~tid key
-          | `Upsert key -> recorded_upsert r kv ~tid key)
+          | `Upsert key -> recorded_upsert ~detect r kv ~tid key)
         streams.(tid)
     in
     let crash_at =
@@ -256,17 +375,18 @@ let run_trial ?mutant ~make (spec : spec) =
     | Sim.Sched.Completed _ -> ()
     | Sim.Sched.Crashed_at { events; _ } ->
         if !crashes = 0 then first_crash_events := events;
-        sweep_pending r;
+        if not detect then sweep_pending r;
         power_fail ();
         recover ~depth:spec.depth;
-        after_recovery ()
+        after_recovery ();
+        if detect then resolve_and_replay ()
   done;
   (* phase 3: re-touch every key (update + read) — the full read-back the
      checker analyzes against everything recorded before the crashes *)
   let retouch_body ~tid =
     let i = ref (tid + 1) in
     while !i <= spec.keyspace do
-      recorded_upsert r kv ~tid !i;
+      recorded_upsert ~detect r kv ~tid !i;
       recorded_read r kv ~tid !i;
       i := !i + threads
     done
@@ -274,7 +394,10 @@ let run_trial ?mutant ~make (spec : spec) =
   advance_base
     (Sim.Sched.run ~machine (List.init threads (fun tid -> (tid, retouch_body))));
   let history = History.create ~eras:(r.era + 1) (List.rev r.events) in
-  let violations = Lincheck.Checker.check history in
+  let violations =
+    if detect then Lincheck.Checker.check_detectable history
+    else Lincheck.Checker.check history
+  in
   {
     history;
     violations;
@@ -284,6 +407,8 @@ let run_trial ?mutant ~make (spec : spec) =
     crashes = !crashes;
     crash_events = !first_crash_events;
     repairs = repair_total () - repairs_before;
+    replays = !replays;
+    suppressions = !suppressions;
     kv;
   }
 
@@ -296,13 +421,15 @@ let adversary_to_string = function
 let spec_to_string s =
   Printf.sprintf
     "structure=%s latency=%s mode=%s threads=%d keyspace=%d ops=%d read=%g \
-     rounds=%d crash_at=%d depth=%d evict=%s draw=%d seed=%d audit=%s mutant=%s"
+     rounds=%d crash_at=%d depth=%d evict=%s draw=%d seed=%d audit=%s \
+     mutant=%s detect=%s"
     s.structure s.latency s.mode s.threads s.keyspace s.ops_per_thread
     s.read_fraction s.rounds s.crash_at s.depth
     (adversary_to_string s.adversary)
     s.draw_seed s.seed
     (if s.audit then "on" else "off")
     s.mutant
+    (if s.detect then "on" else "off")
 
 let spec_of_string line =
   let tokens =
@@ -366,6 +493,7 @@ let spec_of_string line =
               Ok { s with seed = n }
           | "audit" -> Ok { s with audit = v = "on" }
           | "mutant" -> Ok { s with mutant = v }
+          | "detect" -> Ok { s with detect = v = "on" }
           | _ -> Error (Printf.sprintf "unknown key: %s" k)))
     (Ok default_spec) tokens
 
@@ -402,9 +530,10 @@ let kv_of_spec s =
     if Kv.known_structure s.structure then Ok ()
     else Error ("unknown structure: " ^ s.structure)
   in
+  let detect_clients = if s.detect then Some s.threads else None in
   Ok
     (fun () ->
-      match Kv.make_named ~structure:s.structure sys with
+      match Kv.make_named ~structure:s.structure ?detect_clients sys with
       | Ok kv -> kv
       | Error e -> invalid_arg ("Fault.kv_of_spec: " ^ e))
 
@@ -442,6 +571,8 @@ type summary = {
   audit_failures : int;  (* trials with a non-empty audit report *)
   violation_trials : int;
   repairs : int;  (* lazy-recovery repairs summed over all trials *)
+  replays : int;  (* detectable ops re-executed after crashes *)
+  suppressions : int;  (* detectable replays suppressed as duplicates *)
   recovery_ns : float list;  (* one total per crashed trial *)
   failures : (spec * result) list;  (* newest last *)
 }
@@ -477,7 +608,9 @@ let run_campaign ?(jobs = 1) ?make ?mutant (c : campaign) =
   and audit_passes = ref 0
   and audit_failures = ref 0
   and violation_trials = ref 0
-  and repairs = ref 0 in
+  and repairs = ref 0
+  and replays = ref 0
+  and suppressions = ref 0 in
   let recovery_ns = ref [] in
   let failures = ref [] in
   List.iter
@@ -490,6 +623,8 @@ let run_campaign ?(jobs = 1) ?make ?mutant (c : campaign) =
       total_crashes := !total_crashes + res.crashes;
       audit_passes := !audit_passes + res.audits;
       repairs := !repairs + res.repairs;
+      replays := !replays + res.replays;
+      suppressions := !suppressions + res.suppressions;
       if res.audit_errors <> [] then incr audit_failures;
       if res.violations <> [] then incr violation_trials;
       if failed res then failures := (spec, res) :: !failures)
@@ -504,6 +639,8 @@ let run_campaign ?(jobs = 1) ?make ?mutant (c : campaign) =
     audit_failures = !audit_failures;
     violation_trials = !violation_trials;
     repairs = !repairs;
+    replays = !replays;
+    suppressions = !suppressions;
     recovery_ns = List.rev !recovery_ns;
     failures = List.rev !failures;
   }
@@ -514,7 +651,10 @@ let print_summary ~name (s : summary) =
     ~draws:s.draws_per_point ~total_crashes:s.total_crashes
     ~audit_passes:s.audit_passes ~audit_failures:s.audit_failures
     ~violation_trials:s.violation_trials ~repairs:s.repairs
-    ~recovery_ns:s.recovery_ns
+    ~recovery_ns:s.recovery_ns;
+  if s.replays > 0 || s.suppressions > 0 then
+    Fmt.pr "  exactly-once: %d op(s) replayed, %d duplicate(s) suppressed@."
+      s.replays s.suppressions
 
 (* ---- failure shrinking --------------------------------------------------- *)
 

@@ -44,7 +44,15 @@ type spec = {
   audit : bool;  (** run the persistent-heap audit after each recovery *)
   mutant : string;
       (** [none], or a {!Kv.t}[.corrupt] mutation applied after each
-          completed recovery (harness self-validation) *)
+          completed recovery (harness self-validation); [skip_resolve] is
+          special-cased: the recovery fiber omits the descriptor resolve
+          pass, so detect trials must flag an exactly-once violation *)
+  detect : bool;
+      (** route every upsert through its client's persistent operation
+          descriptor ({!Kv.d_upsert}, client = tid) and, after each crash,
+          decide interrupted ops from their descriptors: provably-applied
+          ops are acked without re-execution (duplicate suppression),
+          provably-unapplied ops are replayed exactly once *)
 }
 
 val default_spec : spec
@@ -66,6 +74,12 @@ type result = {
   repairs : int;
       (** lazy-recovery repairs (epoch claims, interrupted splits, tower
           rebuilds; from the Obs counters) performed during the trial *)
+  replays : int;
+      (** detect trials: interrupted ops re-executed because the descriptor
+          proved they had not taken effect *)
+  suppressions : int;
+      (** detect trials: interrupted ops NOT re-executed because the
+          descriptor proved they had already taken effect *)
   kv : Kv.t;
 }
 
@@ -123,6 +137,8 @@ type summary = {
   audit_failures : int;  (** trials with a non-empty audit report *)
   violation_trials : int;
   repairs : int;  (** lazy-recovery repairs summed over all trials *)
+  replays : int;  (** detectable ops re-executed, summed over all trials *)
+  suppressions : int;  (** detectable replays suppressed as duplicates *)
   recovery_ns : float list;  (** one total per crashed trial *)
   failures : (spec * result) list;
 }

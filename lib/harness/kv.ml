@@ -26,6 +26,9 @@ type t = {
   corrupt : string -> bool;
       (* test-only fault injection for harness self-validation; false =
          mutation not applicable / unsupported *)
+  detect : Detect.t option;
+      (* per-client announcement table for detectable ops; present iff the
+         fixture was built with ?detect_clients *)
   pmem : Pmem.t;
   mem : Mem.t;
   pools : int;  (* pools reopened at reconnect (for recovery-time model) *)
@@ -80,9 +83,23 @@ let make_pmem sys =
 
 let machine t = Pmem.machine t.pmem
 
+(* Detect table construction shared by the fixtures (structure-agnostic:
+   the table lives in its own region of pool 0 and only needs the memory
+   manager), plus the audit combinator folding its well-formedness check
+   into the structure's own persistent audit. *)
+let make_detect ~mem = function
+  | None -> None
+  | Some clients -> Some (Detect.create ~mem ~clients)
+
+let with_detect_audit det base_audit =
+  match det with
+  | None -> base_audit
+  | Some d -> fun () -> base_audit () @ Detect.audit d
+
 (* ---- UPSkipList --------------------------------------------------------- *)
 
-let make_upskiplist ?(cfg = Upskiplist.Config.default) ?(n_arenas = 8) sys =
+let make_upskiplist ?(cfg = Upskiplist.Config.default) ?(n_arenas = 8)
+    ?detect_clients sys =
   let pmem = make_pmem sys in
   let block_words = Upskiplist.Skiplist.required_block_words cfg in
   let short_block_words =
@@ -102,6 +119,7 @@ let make_upskiplist ?(cfg = Upskiplist.Config.default) ?(n_arenas = 8) sys =
     Upskiplist.Skiplist.create ~mem ~cfg ~max_threads:sys.max_threads
       ~seed:(sys.seed + 17)
   in
+  let det = make_detect ~mem detect_clients in
   {
     name = "UPSkipList";
     upsert = (fun ~tid k v -> Upskiplist.Skiplist.upsert sl ~tid k v);
@@ -115,9 +133,11 @@ let make_upskiplist ?(cfg = Upskiplist.Config.default) ?(n_arenas = 8) sys =
     audit =
       (* the persistent-heap audit is only sound without physical
          reclamation (retire lists are DRAM-only and would read as leaks) *)
-      (if cfg.Upskiplist.Config.reclaim_empty_nodes then fun () -> []
-       else fun () -> Upskiplist.Skiplist.audit_persistent sl);
+      with_detect_audit det
+        (if cfg.Upskiplist.Config.reclaim_empty_nodes then fun () -> []
+         else fun () -> Upskiplist.Skiplist.audit_persistent sl);
     corrupt = (fun what -> Upskiplist.Skiplist.corrupt sl what);
+    detect = det;
     pmem;
     mem;
     pools = (Pmem.config pmem).Pmem.n_pools;
@@ -126,7 +146,7 @@ let make_upskiplist ?(cfg = Upskiplist.Config.default) ?(n_arenas = 8) sys =
 (* ---- BzTree -------------------------------------------------------------- *)
 
 let make_bztree ?(leaf_capacity = 64) ?(fanout = 16) ?(n_descriptors = 500_000)
-    sys =
+    ?detect_clients sys =
   let pmem = make_pmem sys in
   let mem = Mem.create ~pmem ~chunk_words:(1 lsl 14) ~block_words:8 ~n_arenas:1 () in
   Mem.format mem;
@@ -134,6 +154,7 @@ let make_bztree ?(leaf_capacity = 64) ?(fanout = 16) ?(n_descriptors = 500_000)
   let bz =
     Bztree.create ~mem ~pmw ~leaf_capacity ~fanout ~max_threads:sys.max_threads
   in
+  let det = make_detect ~mem detect_clients in
   {
     name = "BzTree";
     upsert = (fun ~tid k v -> Bztree.upsert bz ~tid k v);
@@ -144,8 +165,9 @@ let make_bztree ?(leaf_capacity = 64) ?(fanout = 16) ?(n_descriptors = 500_000)
     quiesce = (fun ~tid:_ -> ());
     reconnect = (fun () -> Mem.reconnect mem);
     to_alist = (fun () -> Bztree.to_alist bz);
-    audit = (fun () -> []);
+    audit = with_detect_audit det (fun () -> []);
     corrupt = (fun _ -> false);
+    detect = det;
     pmem;
     mem;
     pools = (Pmem.config pmem).Pmem.n_pools;
@@ -153,7 +175,7 @@ let make_bztree ?(leaf_capacity = 64) ?(fanout = 16) ?(n_descriptors = 500_000)
 
 (* ---- PMDK lock-based skip list ------------------------------------------- *)
 
-let make_pmdk_list ?(max_height = 24) sys =
+let make_pmdk_list ?(max_height = 24) ?detect_clients sys =
   let pmem = make_pmem sys in
   let mem = Mem.create ~pmem ~chunk_words:(1 lsl 14) ~block_words:8 ~n_arenas:1 () in
   Mem.format mem;
@@ -162,6 +184,7 @@ let make_pmdk_list ?(max_height = 24) sys =
     Pmdk.Lock_skiplist.create ~mem ~tx ~max_height ~max_threads:sys.max_threads
       ~seed:(sys.seed + 23)
   in
+  let det = make_detect ~mem detect_clients in
   {
     name = "PMDK skip list";
     upsert = (fun ~tid k v -> Pmdk.Lock_skiplist.upsert sl ~tid k v);
@@ -172,8 +195,9 @@ let make_pmdk_list ?(max_height = 24) sys =
     quiesce = (fun ~tid:_ -> ());
     reconnect = (fun () -> Pmdk.Tx.reconnect tx);
     to_alist = (fun () -> Pmdk.Lock_skiplist.to_alist sl);
-    audit = (fun () -> []);
+    audit = with_detect_audit det (fun () -> []);
     corrupt = (fun _ -> false);
+    detect = det;
     pmem;
     mem;
     pools = (Pmem.config pmem).Pmem.n_pools;
@@ -184,12 +208,47 @@ let make_pmdk_list ?(max_height = 24) sys =
 (* One place that maps the structure names used by replay specs, the CLI and
    the service layer onto fixture builders, so every driver accepts the same
    spellings. *)
-let make_named ~structure sys =
+let make_named ~structure ?detect_clients sys =
   match String.lowercase_ascii structure with
-  | "upskiplist" | "ups" -> Ok (make_upskiplist sys)
-  | "bztree" | "bz" -> Ok (make_bztree ~n_descriptors:16_384 sys)
-  | "pmdk" | "lock" -> Ok (make_pmdk_list sys)
+  | "upskiplist" | "ups" -> Ok (make_upskiplist ?detect_clients sys)
+  | "bztree" | "bz" -> Ok (make_bztree ~n_descriptors:16_384 ?detect_clients sys)
+  | "pmdk" | "lock" -> Ok (make_pmdk_list ?detect_clients sys)
   | s -> Error ("unknown structure: " ^ s)
+
+(* ---- detectable operations ------------------------------------------------ *)
+
+let detect_exn t =
+  match t.detect with
+  | Some d -> d
+  | None ->
+      invalid_arg
+        ("Kv: " ^ t.name ^ " fixture was built without ?detect_clients")
+
+(* Announce → execute → resolve. The announce carries its own fence (the
+   one extra fence a detectable op costs); resolution is one flush whose
+   fence the caller may defer (~fence:false) into a group commit. *)
+let d_upsert t ~tid ~client ~seq ?(fence = true) k v =
+  let d = detect_exn t in
+  Detect.announce d ~tid ~client ~seq ~op:Detect.Op_upsert ~key:k ~value:v;
+  let prev = t.upsert ~tid k v in
+  Detect.resolve d ~tid ~client ~prev ~fence ();
+  prev
+
+let d_remove t ~tid ~client ~seq ?(fence = true) k =
+  let d = detect_exn t in
+  Detect.announce d ~tid ~client ~seq ~op:Detect.Op_remove ~key:k ~value:0;
+  let prev = t.remove ~tid k in
+  Detect.resolve d ~tid ~client ~prev ~fence ();
+  prev
+
+(* The recovery resolve pass, probing through the structure's own search.
+   Part of post-crash recovery wherever a fixture carries a detect table:
+   run it after [recover] and before any replay decision. *)
+let d_recover t ~tid =
+  let d = detect_exn t in
+  Detect.recover_resolve d ~tid ~probe:(fun ~tid k -> t.search ~tid k)
+
+let d_decide t ~client ~seq = Detect.decide (detect_exn t) ~client ~seq
 
 let known_structure structure =
   match String.lowercase_ascii structure with

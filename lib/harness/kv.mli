@@ -23,6 +23,9 @@ type t = {
   corrupt : string -> bool;
       (** test-only fault injection for harness self-validation (see
           {!Upskiplist.Skiplist.corrupt}); [false] = not applicable *)
+  detect : Detect.t option;
+      (** per-client announcement table for detectable ops ({!d_upsert}
+          and friends); present iff built with [?detect_clients] *)
   pmem : Pmem.t;
   mem : Memory.Mem.t;
   pools : int;
@@ -47,16 +50,47 @@ val default_sys : sys
 val make_pmem : sys -> Pmem.t
 val machine : t -> Sim.Sched.machine
 
-val make_upskiplist : ?cfg:Upskiplist.Config.t -> ?n_arenas:int -> sys -> t
+val make_upskiplist :
+  ?cfg:Upskiplist.Config.t -> ?n_arenas:int -> ?detect_clients:int -> sys -> t
 val make_bztree :
-  ?leaf_capacity:int -> ?fanout:int -> ?n_descriptors:int -> sys -> t
-val make_pmdk_list : ?max_height:int -> sys -> t
+  ?leaf_capacity:int ->
+  ?fanout:int ->
+  ?n_descriptors:int ->
+  ?detect_clients:int ->
+  sys ->
+  t
+val make_pmdk_list : ?max_height:int -> ?detect_clients:int -> sys -> t
 
-val make_named : structure:string -> sys -> (t, string) result
+val make_named :
+  structure:string -> ?detect_clients:int -> sys -> (t, string) result
 (** Build a fixture by name — [upskiplist]/[ups], [bztree]/[bz],
     [pmdk]/[lock] — with each structure's default tuning (BzTree gets a
     16K-descriptor pool, as in the fault-campaign specs). The shared
-    spelling table behind replay specs, the CLI and the service layer. *)
+    spelling table behind replay specs, the CLI and the service layer.
+    [?detect_clients] additionally formats a {!Detect} announcement table
+    of that many client slots in the fixture's pool 0. *)
 
 val known_structure : string -> bool
 (** Whether {!make_named} accepts the name (without building anything). *)
+
+(** {1 Detectable operations}
+
+    Announce → execute → resolve wrappers over the structure ops, built on
+    the fixture's {!Detect} table (raise [Invalid_argument] without one).
+    The announce costs the op one extra flush + fence; the resolve one
+    flush, whose fence the caller may defer into a group commit with
+    [~fence:false]. *)
+
+val d_upsert :
+  t -> tid:int -> client:int -> seq:int -> ?fence:bool -> int -> int -> int option
+
+val d_remove :
+  t -> tid:int -> client:int -> seq:int -> ?fence:bool -> int -> int option
+
+val d_recover : t -> tid:int -> int
+(** Recovery resolve pass ({!Detect.recover_resolve}) probing through the
+    structure's own search; run after [recover], before replay decisions.
+    Idempotent. Returns the slots decided. *)
+
+val d_decide : t -> client:int -> seq:int -> Detect.decision
+(** Host-side replay verdict for (client, seq). *)

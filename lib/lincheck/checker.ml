@@ -219,3 +219,56 @@ let check (h : History.t) : violation list =
   List.rev !violations
 
 let is_linearizable h = check h = []
+
+(* Exactly-once extension for detectable crash-replay histories: on top of
+   the strict-linearizability surface (which already catches a replayed op
+   taking effect twice — the duplicated write breaks the unique-value
+   chain), assert the operation-identity discipline directly:
+
+   - an identified operation appears at most once as a completed event
+     (an acked op appears exactly once in some linearization; the harness
+     records one completed event per ack, so a duplicate means either a
+     double ack or a replay that was not suppressed);
+   - an identified operation is never both completed and left pending
+     (a pending event stands for "outcome unknown at the crash" — once the
+     op is acked, recording both double-counts it). *)
+let check_detectable (h : History.t) : violation list =
+  let base = check h in
+  let extra = ref [] in
+  let report key fmt =
+    Fmt.kstr (fun message -> extra := { key; message } :: !extra) fmt
+  in
+  let completed = Hashtbl.create 256 in
+  let pending = Hashtbl.create 64 in
+  List.iter
+    (fun (e : History.event) ->
+      match e.History.opid with
+      | None -> ()
+      | Some id ->
+          if e.History.completed then begin
+            if Hashtbl.mem completed id then
+              report e.History.key
+                "operation (client %d, seq %d) completed twice: replay was \
+                 not suppressed"
+                (fst id) (snd id)
+            else Hashtbl.add completed id ();
+            if Hashtbl.mem pending id then
+              report e.History.key
+                "operation (client %d, seq %d) recorded both pending and \
+                 completed"
+                (fst id) (snd id)
+          end
+          else begin
+            if Hashtbl.mem completed id then
+              report e.History.key
+                "operation (client %d, seq %d) recorded both pending and \
+                 completed"
+                (fst id) (snd id);
+            if Hashtbl.mem pending id then
+              report e.History.key
+                "operation (client %d, seq %d) left pending twice" (fst id)
+                (snd id)
+            else Hashtbl.add pending id ()
+          end)
+    (History.events h);
+  base @ List.rev !extra

@@ -18,3 +18,11 @@ val check : History.t -> violation list
     operation class). *)
 
 val is_linearizable : History.t -> bool
+
+val check_detectable : History.t -> violation list
+(** Exactly-once check for detectable crash-replay histories: {!check}
+    plus operation-identity discipline over events carrying an
+    [opid] — an identified operation must appear at most once as a
+    completed event and never both completed and pending. An acked-op
+    duplicate apply additionally surfaces through {!check}'s unique-value
+    chain (the replayed write observes its own value as predecessor). *)

@@ -21,6 +21,9 @@ type event = {
   res : float;  (** response timestamp; [infinity] when interrupted *)
   era : int;  (** failure-free era the op was invoked in (0-based) *)
   completed : bool;
+  opid : (int * int) option;
+      (** detectable-op identity (client, seq); crash-replay histories use
+          it to assert each operation appears at most once *)
 }
 
 type t = { events : event list; eras : int  (** number of eras (crashes + 1) *) }
@@ -28,7 +31,16 @@ type t = { events : event list; eras : int  (** number of eras (crashes + 1) *) 
 let create ~eras events = { events; eras }
 
 let completed_upsert ~tid ~key ~value ~prev ~inv ~res ~era =
-  { tid; key; kind = Upsert { value; prev }; inv; res; era; completed = true }
+  {
+    tid;
+    key;
+    kind = Upsert { value; prev };
+    inv;
+    res;
+    era;
+    completed = true;
+    opid = None;
+  }
 
 let pending_upsert ~tid ~key ~value ~inv ~era =
   {
@@ -39,10 +51,13 @@ let pending_upsert ~tid ~key ~value ~inv ~era =
     res = infinity;
     era;
     completed = false;
+    opid = None;
   }
 
 let completed_read ~tid ~key ~out ~inv ~res ~era =
-  { tid; key; kind = Read { out }; inv; res; era; completed = true }
+  { tid; key; kind = Read { out }; inv; res; era; completed = true; opid = None }
+
+let with_opid id e = { e with opid = Some id }
 
 let events t = t.events
 let eras t = t.eras

@@ -16,6 +16,10 @@ type event = {
   res : float;  (** [infinity] when the crash interrupted the operation *)
   era : int;  (** failure-free era of invocation (0-based) *)
   completed : bool;
+  opid : (int * int) option;
+      (** detectable-op identity (client, seq); crash-replay histories
+          carry it so the checker can assert each identified operation
+          appears at most once ({!Checker.check_detectable}) *)
 }
 
 type t
@@ -39,6 +43,10 @@ val pending_upsert :
 
 val completed_read :
   tid:int -> key:int -> out:int option -> inv:float -> res:float -> era:int -> event
+
+val with_opid : int * int -> event -> event
+(** Attach a detectable-op identity (client, seq) to an event. The plain
+    constructors leave [opid] = [None]. *)
 
 val events : t -> event list
 val eras : t -> int

@@ -39,6 +39,7 @@ let max_classes = 2
 let magic_word = 0
 let bump_word = 1
 let epoch_word = 2
+let detect_word = 3  (* RIV of the detect announcement region, 0 = absent *)
 let registry_start = 16
 let arena_heads = registry_start + max_chunks
 let arena_tails = arena_heads + (max_classes * max_arenas)
@@ -239,6 +240,16 @@ let grab_region_poked t ~pool ~words =
   let aligned = (next - chunks_start + t.chunk_words - 1) / t.chunk_words * t.chunk_words + chunks_start in
   Pmem.poke t.pmem bump aligned;
   riv_of_root ~pool ~word:base
+
+(* Root pointer to the detect announcement region (pool 0): poked at setup
+   by Detect.create, peeked (from the persistent image) on reattach so the
+   table survives crashes without any log replay. *)
+let set_detect_root t riv =
+  Pmem.poke t.pmem (Pmem.addr ~pool:0 ~word:detect_word) (Riv.to_word riv)
+
+let detect_root t =
+  Riv.of_word
+    (Pmem.peek_persistent t.pmem (Pmem.addr ~pool:0 ~word:detect_word))
 
 let root_alloc t ~pool ~words =
   let w = t.root_bump.(pool) in

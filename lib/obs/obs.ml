@@ -41,7 +41,12 @@ let id_load_miss = 20
 let id_store_miss = 21
 let id_finger_hit = 22
 let id_finger_invalid = 23
-let n_ids = 24
+let id_detect_announce = 24
+let id_detect_resolve = 25
+let id_detect_recover = 26
+let id_svc_replay = 27
+let id_svc_dup_suppress = 28
+let n_ids = 29
 
 let names =
   [|
@@ -69,6 +74,11 @@ let names =
     "store_misses";
     "finger_hits";
     "finger_invalidations";
+    "detect_announces";
+    "detect_resolves";
+    "detect_recovered";
+    "svc_replays";
+    "svc_dup_suppressed";
   |]
 
 let id_name id =
@@ -190,6 +200,7 @@ module Span = struct
     sp_phase : float array;
     sp_fence : float;
     sp_recovery : float;
+    sp_replay : int;
     sp_flushes : int;
     sp_fences : int;
     sp_load_misses : int;

@@ -83,6 +83,26 @@ val id_finger_hit : int
 val id_finger_invalid : int
 (** finger candidates rejected by epoch/bound validation *)
 
+(** Detectable-operation events (the [detect] per-client announcement
+    table, plus the service-layer replay protocol built on it): *)
+
+val id_detect_announce : int
+(** operation descriptors announced (persisted before the structure op) *)
+
+val id_detect_resolve : int
+(** descriptors resolved in-line (status + result persisted before ack) *)
+
+val id_detect_recover : int
+(** announced-but-unresolved descriptors decided by a recovery resolve
+    pass (probe against the recovered structure) *)
+
+val id_svc_replay : int
+(** requests replayed after a shard power failure (decided not-applied) *)
+
+val id_svc_dup_suppress : int
+(** requests acked by duplicate suppression (decided already-applied, so
+    the replay was suppressed) *)
+
 val n_ids : int
 (** Number of counter ids; rows and snapshots have this length. *)
 
@@ -173,6 +193,10 @@ module Span : sig
     sp_recovery : float;
         (** overlap of the queue wait with the shard's recovery outage
             window (inside [ph_queue]) *)
+    sp_replay : int;
+        (** detectable-op outcome attribution: 0 first execution, 1
+            replayed after a shard crash, 2 acked by duplicate
+            suppression *)
     sp_flushes : int;  (** PMEM flushes during this request's exec *)
     sp_fences : int;
     sp_load_misses : int;

@@ -31,6 +31,7 @@ type t = {
   span_top : int;
   span_sample : int;
   window_ns : float;
+  detect : bool;
 }
 
 let default =
@@ -61,6 +62,7 @@ let default =
     span_top = 1024;
     span_sample = 512;
     window_ns = 20_000.0;
+    detect = false;
   }
 
 (* offered_mops is requests per microsecond across all clients; each of the

@@ -48,6 +48,14 @@ type t = {
   span_sample : int;  (** reservoir sample size over all spans *)
   window_ns : float;
       (** virtual-time window for the SLO time-series (spans runs only) *)
+  detect : bool;
+      (** detectable exactly-once upserts: shards allocate a per-client
+          descriptor table ({!Detect}), every upsert announces before
+          executing and resolves before its ack, and a crashed shard
+          replays its stranded requests idempotently — provably-applied
+          upserts are acked without re-execution (duplicate suppression),
+          everything else is re-executed exactly once; nothing but scans
+          is lost to a crash *)
 }
 
 val default : t

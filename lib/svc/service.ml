@@ -45,9 +45,16 @@ type sp_cell = {
   mutable c_flushes : int;
   mutable c_fences : int;
   mutable c_misses : int;
+  mutable c_replay : int; (* 0 normal, 1 replayed, 2 duplicate-suppressed *)
 }
 
-type entry = { arrival : float; req : req; cell : sp_cell option }
+type entry = {
+  arrival : float;
+  req : req;
+  client : int;
+  dseq : int; (* per-client descriptor sequence number; -1 for reads/scans *)
+  cell : sp_cell option;
+}
 
 (* One accumulator per virtual-time window of the SLO time-series. *)
 type wacc = {
@@ -70,6 +77,10 @@ type shard_state = {
   mutable crashed : bool;
   mutable down_ns : float;
   mutable down_at : float; (* outage start; meaningful when down_ns > 0 *)
+  mutable replay : entry list;
+      (* detect mode: stranded requests awaiting re-execution after the
+         shard's crash, oldest first (drained before new queue entries so
+         per-client announce order stays monotone) *)
 }
 
 let shard_sys (cfg : Config.t) s =
@@ -165,6 +176,7 @@ let config_summary (cfg : Config.t) =
     ("shard_numa_nodes", string_of_int cfg.sys.Kv.numa_nodes);
     ("seed", string_of_int cfg.seed);
     ("spans", if cfg.spans then "on" else "off");
+    ("detect", if cfg.detect then "on" else "off");
     ( "crash",
       match cfg.crash with
       | None -> "none"
@@ -178,9 +190,13 @@ let run (cfg : Config.t) =
   | Ok () -> ()
   | Error e -> invalid_arg ("Svc.Service.run: " ^ e));
   let router = Router.create ~shards:cfg.shards ~zones:cfg.zones in
+  let detect_clients = if cfg.detect then Some cfg.clients else None in
   let states =
     Array.init cfg.shards (fun s ->
-        match Kv.make_named ~structure:cfg.structure (shard_sys cfg s) with
+        match
+          Kv.make_named ~structure:cfg.structure ?detect_clients
+            (shard_sys cfg s)
+        with
         | Ok kv ->
             {
               kv;
@@ -195,6 +211,7 @@ let run (cfg : Config.t) =
               crashed = false;
               down_ns = 0.0;
               down_at = 0.0;
+              replay = [];
             }
         | Error e -> invalid_arg ("Svc.Service.run: " ^ e))
   in
@@ -212,6 +229,14 @@ let run (cfg : Config.t) =
   let delay_total = ref 0.0 in
   let clients_done = ref 0 in
   let workers_done = ref 0 in
+  (* per-client ledger (SLO client_reports): how admission control and
+     crash replay treated each client's requests *)
+  let shed_c = Array.make cfg.clients 0 in
+  let delayed_c = Array.make cfg.clients 0 in
+  let replayed_c = Array.make cfg.clients 0 in
+  let suppressed_c = Array.make cfg.clients 0 in
+  let replayed = ref 0 in
+  let suppressed = ref 0 in
   let in_outage = Array.make cfg.shards 0 in
   let samples = ref [] in
   let spans_on = cfg.spans in
@@ -264,6 +289,7 @@ let run (cfg : Config.t) =
           c_flushes = 0;
           c_fences = 0;
           c_misses = 0;
+          c_replay = 0;
         }
     else None
   in
@@ -304,6 +330,7 @@ let run (cfg : Config.t) =
             sp_phase = phase;
             sp_fence = cl.c_fence;
             sp_recovery = recovery;
+            sp_replay = cl.c_replay;
             sp_flushes = cl.c_flushes;
             sp_fences = cl.c_fences;
             sp_load_misses = cl.c_misses;
@@ -369,6 +396,7 @@ let run (cfg : Config.t) =
         end
         else begin
           st.shed <- st.shed + 1;
+          shed_c.(entry.client) <- shed_c.(entry.client) + 1;
           Obs.bump ~tid Obs.id_svc_shed;
           if spans_on then begin
             let w = win_of (Sim.Sched.now ()) in
@@ -386,6 +414,7 @@ let run (cfg : Config.t) =
           end
           else begin
             incr delayed;
+            delayed_c.(entry.client) <- delayed_c.(entry.client) + 1;
             delay_total := !delay_total +. backoff;
             Sim.Sched.charge backoff;
             go ()
@@ -423,6 +452,8 @@ let run (cfg : Config.t) =
                  {
                    arrival = t_send;
                    req = R_read k;
+                   client = c;
+                   dseq = -1;
                    cell = mk_cell ~client:c ~seq:!rix ~op:0;
                  })
         | Ycsb.Workload.Update k | Ycsb.Workload.Insert k ->
@@ -435,6 +466,8 @@ let run (cfg : Config.t) =
                  {
                    arrival = t_send;
                    req = R_upsert (k, v);
+                   client = c;
+                   dseq = !seq;
                    cell = mk_cell ~client:c ~seq:!rix ~op:1;
                  })
         | Ycsb.Workload.Scan (start, len) ->
@@ -457,6 +490,8 @@ let run (cfg : Config.t) =
                        {
                          arrival = t_send;
                          req = R_scan_part (ctx, lo, hi);
+                         client = c;
+                         dseq = -1;
                          (* scans fan out and merge — their latency does not
                             decompose into one linear phase chain, so they
                             carry no span *)
@@ -509,8 +544,65 @@ let run (cfg : Config.t) =
           cl.c_misses <- Obs.counter ~tid Obs.id_load_miss - cl.c_miss0
       | None -> ()
     in
-    let process_batch () =
-      let entries = Bqueue.pop_up_to st.q cfg.batch in
+    (* Power failure. [stranded] carries the interrupted batch: upserts
+       already executed but whose group fence never ran, plus entries not
+       yet executed; the queue backlog is drained on top. Without detect,
+       everything stranded is lost. With detect, the recovery resolve pass
+       runs first ({!Kv.d_recover}), then every stranded request is decided
+       from its descriptor: provably-applied upserts are acked without
+       re-execution (duplicate suppression), everything else — including
+       reads, which are trivially idempotent — is queued for exactly-once
+       replay. Scans have no descriptor and keep their lost/failed
+       semantics. *)
+    let do_crash ~stranded =
+      crash_pending := None;
+      st.crashed <- true;
+      let t0 = Sim.Sched.now () in
+      let before = Array.map (fun sti -> sti.comp) states in
+      Pmem.crash st.kv.Kv.pmem;
+      let stranded = stranded @ Bqueue.drain st.q in
+      st.kv.Kv.reconnect ();
+      Sim.Sched.charge (Crash_test.pool_open_ns ~pools:st.kv.Kv.pools);
+      st.kv.Kv.recover ~tid;
+      if cfg.detect then ignore (Kv.d_recover st.kv ~tid : int);
+      let to_replay = ref [] in
+      let mark_replay e =
+        (match e.cell with Some cl -> cl.c_replay <- 1 | None -> ());
+        replayed_c.(e.client) <- replayed_c.(e.client) + 1;
+        incr replayed;
+        Obs.bump ~tid Obs.id_svc_replay;
+        to_replay := e :: !to_replay
+      in
+      List.iter
+        (fun e ->
+          match e.req with
+          | R_scan_part (ctx, _, _) ->
+              st.lost <- st.lost + 1;
+              scan_part_resolved ctx ~failed:true ~part:[]
+          | R_read _ ->
+              if cfg.detect then mark_replay e else st.lost <- st.lost + 1
+          | R_upsert _ ->
+              if cfg.detect then (
+                match Kv.d_decide st.kv ~client:e.client ~seq:e.dseq with
+                | Detect.Applied _ | Detect.Applied_unknown ->
+                    (* executed before the power failure; the resolve write
+                       is durable, so ack without re-executing *)
+                    (match e.cell with
+                    | Some cl -> cl.c_replay <- 2
+                    | None -> ());
+                    suppressed_c.(e.client) <- suppressed_c.(e.client) + 1;
+                    incr suppressed;
+                    Obs.bump ~tid Obs.id_svc_dup_suppress;
+                    ack e
+                | Detect.Not_applied -> mark_replay e)
+              else st.lost <- st.lost + 1)
+        stranded;
+      st.replay <- List.rev !to_replay;
+      st.down_at <- t0;
+      st.down_ns <- Sim.Sched.now () -. t0;
+      Array.iteri (fun i sti -> in_outage.(i) <- sti.comp - before.(i)) states
+    in
+    let process_entries entries =
       (if spans_on then
          let t_pop = Sim.Sched.now () in
          List.iter
@@ -523,72 +615,89 @@ let run (cfg : Config.t) =
         (cfg.batch_overhead_ns
         +. (cfg.req_overhead_ns *. float_of_int (List.length entries)));
       let durable = ref [] in
-      List.iter
-        (fun e ->
-          match e.req with
-          | R_read k ->
-              exec_begin e;
-              ignore (st.kv.Kv.search ~tid k);
-              exec_end e;
-              ack e
-          | R_upsert (k, v) ->
-              exec_begin e;
-              ignore (st.kv.Kv.upsert ~tid k v);
-              exec_end e;
-              durable := e :: !durable
-          | R_scan_part (ctx, lo, hi) ->
-              let part = st.kv.Kv.range ~tid ~lo ~hi in
-              ack e;
-              scan_part_resolved ctx ~failed:false ~part)
-        entries;
-      (* group commit: one trailing fence covers every upsert in the batch;
-         only then are their acks recorded *)
-      match !durable with
-      | [] -> ()
-      | ds ->
-          let t_f0 = Sim.Sched.now () in
-          Sim.Sched.fence ();
-          st.flushes <- st.flushes + 1;
-          Obs.bump ~tid Obs.id_svc_group_flush;
-          if spans_on then begin
-            let t_f1 = Sim.Sched.now () in
-            let d_f = t_f1 -. t_f0 in
-            List.iter
-              (fun e ->
-                match e.cell with Some cl -> cl.c_fence <- d_f | None -> ())
-              ds;
-            let w = win_of t_f1 in
-            w.aw_fences <- w.aw_fences + 1
-          end;
-          List.iter ack (List.rev ds)
+      let exec e =
+        match e.req with
+        | R_read k ->
+            exec_begin e;
+            ignore (st.kv.Kv.search ~tid k);
+            exec_end e;
+            ack e
+        | R_upsert (k, v) ->
+            exec_begin e;
+            (* detect: announce → upsert → resolve; the resolve's fence is
+               folded into the batch's group-commit fence below *)
+            (if cfg.detect then
+               ignore
+                 (Kv.d_upsert st.kv ~tid ~client:e.client ~seq:e.dseq
+                    ~fence:false k v
+                   : int option)
+             else ignore (st.kv.Kv.upsert ~tid k v));
+            exec_end e;
+            durable := e :: !durable
+        | R_scan_part (ctx, lo, hi) ->
+            let part = st.kv.Kv.range ~tid ~lo ~hi in
+            ack e;
+            scan_part_resolved ctx ~failed:false ~part
+      in
+      (* the crash check runs before every entry, not only between batches,
+         so a power failure can strand executed-but-unacked upserts *)
+      let rec go = function
+        | [] -> None
+        | e :: rest -> (
+            match !crash_pending with
+            | Some at when Sim.Sched.now () >= at -> Some (e :: rest)
+            | _ ->
+                exec e;
+                go rest)
+      in
+      match go entries with
+      | Some remaining -> do_crash ~stranded:(List.rev !durable @ remaining)
+      | None -> (
+          (* group commit: one trailing fence covers every upsert in the
+             batch (and, in detect mode, their descriptor resolves); only
+             then are their acks recorded *)
+          match !durable with
+          | [] -> ()
+          | ds ->
+              let t_f0 = Sim.Sched.now () in
+              Sim.Sched.fence ();
+              st.flushes <- st.flushes + 1;
+              Obs.bump ~tid Obs.id_svc_group_flush;
+              if spans_on then begin
+                let t_f1 = Sim.Sched.now () in
+                let d_f = t_f1 -. t_f0 in
+                List.iter
+                  (fun e ->
+                    match e.cell with
+                    | Some cl -> cl.c_fence <- d_f
+                    | None -> ())
+                  ds;
+                let w = win_of t_f1 in
+                w.aw_fences <- w.aw_fences + 1
+              end;
+              List.iter ack (List.rev ds))
     in
-    let do_crash () =
-      crash_pending := None;
-      st.crashed <- true;
-      let t0 = Sim.Sched.now () in
-      let before = Array.map (fun sti -> sti.comp) states in
-      Pmem.crash st.kv.Kv.pmem;
-      List.iter
-        (fun e ->
-          st.lost <- st.lost + 1;
-          match e.req with
-          | R_scan_part (ctx, _, _) ->
-              scan_part_resolved ctx ~failed:true ~part:[]
-          | R_read _ | R_upsert _ -> ())
-        (Bqueue.drain st.q);
-      st.kv.Kv.reconnect ();
-      Sim.Sched.charge (Crash_test.pool_open_ns ~pools:st.kv.Kv.pools);
-      st.kv.Kv.recover ~tid;
-      st.down_at <- t0;
-      st.down_ns <- Sim.Sched.now () -. t0;
-      Array.iteri (fun i sti -> in_outage.(i) <- sti.comp - before.(i)) states
+    let rec take n = function
+      | [] -> ([], [])
+      | l when n = 0 -> ([], l)
+      | e :: rest ->
+          let a, b = take (n - 1) rest in
+          (e :: a, b)
     in
     let rec loop () =
       (match !crash_pending with
-      | Some at when Sim.Sched.now () >= at -> do_crash ()
+      | Some at when Sim.Sched.now () >= at -> do_crash ~stranded:[]
       | _ -> ());
-      if not (Bqueue.is_empty st.q) then begin
-        process_batch ();
+      if st.replay <> [] then begin
+        (* replay drains before new queue entries so each client's announce
+           order on this shard stays monotone in seq *)
+        let batch, rest = take cfg.batch st.replay in
+        st.replay <- rest;
+        process_entries batch;
+        loop ()
+      end
+      else if not (Bqueue.is_empty st.q) then begin
+        process_entries (Bqueue.pop_up_to st.q cfg.batch);
         loop ()
       end
       else if !clients_done < cfg.clients || !crash_pending <> None then begin
@@ -733,6 +842,17 @@ let run (cfg : Config.t) =
     failed_scans = !failed_scans;
     delayed = !delayed;
     delay_ns_total = !delay_total;
+    replayed = !replayed;
+    dup_suppressed = !suppressed;
+    client_reports =
+      List.init cfg.clients (fun c ->
+          {
+            Slo.cr_client = c;
+            cr_shed = shed_c.(c);
+            cr_delayed = delayed_c.(c);
+            cr_replayed = replayed_c.(c);
+            cr_suppressed = suppressed_c.(c);
+          });
     goodput_mops =
       (if span > 0.0 then float_of_int !completed /. span *. 1000.0 else 0.0);
     offered_mops = cfg.offered_mops;

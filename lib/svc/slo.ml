@@ -37,6 +37,14 @@ type shard_report = {
   shard_lat : Sim.Histogram.t;
 }
 
+type client_report = {
+  cr_client : int;
+  cr_shed : int;
+  cr_delayed : int;
+  cr_replayed : int;
+  cr_suppressed : int;
+}
+
 type window = {
   w_idx : int;
   w_completed : int;
@@ -71,6 +79,9 @@ type t = {
   failed_scans : int;
   delayed : int;
   delay_ns_total : float;
+  replayed : int;
+  dup_suppressed : int;
+  client_reports : client_report list;
   goodput_mops : float;
   offered_mops : float;
   shed_rate : float;
@@ -242,7 +253,7 @@ let span_summary_json sp =
 let to_json t =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  add "{\"schema\":\"upskip-svc-slo/2\",\"schema_version\":2,";
+  add "{\"schema\":\"upskip-svc-slo/3\",\"schema_version\":3,";
   add "\"config\":{";
   List.iteri
     (fun i (k, v) ->
@@ -261,6 +272,8 @@ let to_json t =
   add "\"failed_scans\":%d," t.failed_scans;
   add "\"delayed\":%d," t.delayed;
   add "\"delay_ns_total\":%s," (fnum t.delay_ns_total);
+  add "\"replayed\":%d," t.replayed;
+  add "\"dup_suppressed\":%d," t.dup_suppressed;
   add "\"shed_rate\":%s," (fnum t.shed_rate);
   add "\"remote_fraction\":%s," (fnum t.remote_fraction);
   add "\"latency_ns\":%s," (lat_json t.merged);
@@ -270,6 +283,16 @@ let to_json t =
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b (shard_json s))
     t.shard_reports;
+  add "],";
+  add "\"clients\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b ',';
+      add
+        "{\"client\":%d,\"shed\":%d,\"delayed\":%d,\"replayed\":%d,\
+         \"dup_suppressed\":%d}"
+        c.cr_client c.cr_shed c.cr_delayed c.cr_replayed c.cr_suppressed)
+    t.client_reports;
   add "],";
   add "\"depth_series\":[";
   List.iteri
@@ -450,6 +473,9 @@ let pp fmt t =
   fprintf fmt
     "  completed %d  shed %d  lost %d  failed scans %d  delayed %d@."
     t.completed t.shed t.lost t.failed_scans t.delayed;
+  if t.replayed > 0 || t.dup_suppressed > 0 then
+    fprintf fmt "  exactly-once: %d replayed  %d duplicate-suppressed@."
+      t.replayed t.dup_suppressed;
   fprintf fmt
     "  latency p50 %.0f ns  p99 %.0f ns  p99.9 %.0f ns  mean %.0f ns@."
     m.p50 m.p99 m.p999 m.mean;

@@ -34,6 +34,14 @@ type shard_report = {
   shard_lat : Sim.Histogram.t;  (** per-sub-request service latency *)
 }
 
+type client_report = {
+  cr_client : int;
+  cr_shed : int;  (** this client's requests dropped by admission control *)
+  cr_delayed : int;  (** admission retries under the Delay policy *)
+  cr_replayed : int;  (** requests re-executed after a shard crash *)
+  cr_suppressed : int;  (** upserts acked without re-execution *)
+}
+
 type window = {
   w_idx : int;  (** window index; window [i] covers [[i*w, (i+1)*w)] ns *)
   w_completed : int;  (** read/upsert acks inside the window *)
@@ -77,6 +85,13 @@ type t = {
   failed_scans : int;  (** scans with at least one shed or lost part *)
   delayed : int;  (** admission retries under the Delay policy *)
   delay_ns_total : float;
+  replayed : int;
+      (** detect mode: stranded requests re-executed after a shard crash *)
+  dup_suppressed : int;
+      (** detect mode: stranded upserts acked from their descriptor
+          without re-execution (they had provably taken effect) *)
+  client_reports : client_report list;
+      (** per-client ledger, ascending by client id *)
   goodput_mops : float;  (** client-visible completions / span *)
   offered_mops : float;
   shed_rate : float;

@@ -194,6 +194,7 @@ let mk_span ?(client = 1) ?(seq = 0) ~lat () =
     sp_phase = [| 0.0; lat; 0.0; 0.0; 0.0 |];
     sp_fence = 0.0;
     sp_recovery = 0.0;
+    sp_replay = 0;
     sp_flushes = 0;
     sp_fences = 0;
     sp_load_misses = 0;

@@ -211,6 +211,62 @@ let test_svc_crash_recovery () =
   check_bool "service goodput survived" true (r.Slo.completed > 0);
   check_conservation r
 
+(* With detectable operations the crashed shard loses nothing: stranded
+   upserts are decided through their descriptors (acked if applied,
+   replayed if not) and stranded reads are replayed, so every admitted
+   request still completes exactly once. *)
+let test_svc_detect_crash_exactly_once () =
+  let cfg =
+    {
+      base with
+      Config.shards = 4;
+      zones = 4;
+      clients = 4;
+      requests_per_client = 400;
+      offered_mops = 40.0;
+      workload = Ycsb.Workload.a;
+      queue_cap = 64;
+      detect = true;
+      crash = Some { Config.crash_shard = 1; crash_at_ns = 50_000.0 };
+    }
+  in
+  let r = Service.run cfg in
+  check_bool "shard 1 crashed" true (List.nth r.Slo.shard_reports 1).Slo.crashed;
+  check_int "nothing lost under detect" 0 r.Slo.lost;
+  check_bool "stranded work was replayed or suppressed" true
+    (r.Slo.replayed + r.Slo.dup_suppressed > 0);
+  check_int "every admitted request completed" r.Slo.requests
+    (r.Slo.completed + r.Slo.shed);
+  check_conservation r;
+  List.iter
+    (fun s -> check_int "audit clean" 0 s.Slo.audit_errors)
+    r.Slo.shard_reports;
+  (* per-client ledger is complete and consistent with the totals *)
+  check_int "one report per client" cfg.Config.clients
+    (List.length r.Slo.client_reports);
+  let sum f = List.fold_left (fun a c -> a + f c) 0 r.Slo.client_reports in
+  check_int "client shed sums" r.Slo.shed (sum (fun c -> c.Slo.cr_shed));
+  check_int "client delayed sums" r.Slo.delayed
+    (sum (fun c -> c.Slo.cr_delayed));
+  check_int "client replays sum" r.Slo.replayed
+    (sum (fun c -> c.Slo.cr_replayed));
+  check_int "client suppressions sum" r.Slo.dup_suppressed
+    (sum (fun c -> c.Slo.cr_suppressed))
+
+(* Detect mode changes only what happens after a crash: a crash-free run
+   must complete the same requests (fences are folded into the group
+   commit, so throughput stays in family but the schedule may differ). *)
+let test_svc_detect_no_crash_parity () =
+  let off = Service.run base in
+  let on = Service.run { base with Config.detect = true } in
+  check_int "requests identical" off.Slo.requests on.Slo.requests;
+  check_int "nothing replayed without a crash" 0 on.Slo.replayed;
+  check_int "nothing suppressed without a crash" 0 on.Slo.dup_suppressed;
+  check_int "nothing lost" 0 on.Slo.lost;
+  check_int "detect run completes everything" on.Slo.requests
+    (on.Slo.completed + on.Slo.shed);
+  check_conservation on
+
 (* ---- spans ---------------------------------------------------------------- *)
 
 (* Span recording is host-side instrumentation: turning it on must not
@@ -323,6 +379,9 @@ let () =
           case "scan fan-out" test_svc_scan_fanout;
           case "delay backpressure" test_svc_delay_policy;
           slow_case "one-shard crash recovery" test_svc_crash_recovery;
+          slow_case "detect: crash is exactly once"
+            test_svc_detect_crash_exactly_once;
+          case "detect: crash-free parity" test_svc_detect_no_crash_parity;
           case "config validation" test_svc_validation;
         ] );
       ( "spans",
