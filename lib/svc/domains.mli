@@ -1,0 +1,49 @@
+(** Domain-parallel service engine: one scheduler and one {!Pmem.t} per
+    shard, stepped in exchange epochs, with cross-station traffic moved
+    through per-pair mailboxes at epoch boundaries only.
+
+    Stations: the frontend (client fibers plus a scan-aggregator fiber, on
+    a machine that rejects PMEM ops) and one station per shard (worker
+    fiber with tid = shard, plus a queue-depth sampler) on the shard's own
+    {!Harness.Kv} machine. Every round, each station steps its scheduler
+    session up to the next multiple of [cfg.exchange_ns]
+    ({!Sim.Sched.step}); then the coordinator — with all stations
+    quiescent — moves frontend→shard request mailboxes and shard→frontend
+    scan-result mailboxes in a fixed order. Messages published during
+    round [r] are visible from round [r+1]; admission (bounded-queue push
+    or shed) happens at the receiving shard at the epoch boundary.
+
+    Because stations share no mutable state between exchanges and all
+    merges (histograms, counters, span summaries, per-client ledgers,
+    depth series) are exact and in fixed station order, [run ~domains:1]
+    (sequential round-robin on the calling domain) and [run ~domains:n]
+    (stations pinned to parallel domains via {!Sim.Pool.run_phased})
+    produce byte-identical {!Slo.to_json}, {!Slo.spans_to_json} and
+    [Obs.totals] output — the @svc/domains runtest gate enforces this.
+    Raw trace event order is excluded from that promise (a worker domain's
+    events absorb as one contiguous segment).
+
+    A config crash plan power-fails the owning shard mid-run exactly as in
+    {!Service.run} — crash, reconnect, in-line recovery, and (in detect
+    mode) exactly-once replay with duplicate suppression — inside the
+    shard's own station while every other station keeps serving.
+    [completed_in_outage] attribution is round-granular here (computed
+    from per-round completion snapshots rather than a cross-shard read at
+    crash time).
+
+    Differences from the composite engine, by design: only the [Shed]
+    admission policy is supported ([Invalid_argument] for [Delay] — it
+    needs synchronous client pushback); scan merge cost is charged on the
+    frontend's clock; the request hop phase includes exchange-epoch
+    residence. The two engines are therefore not byte-comparable to each
+    other — the determinism contract is between domain counts of this
+    engine. *)
+
+val run : ?domains:int -> Config.t -> Slo.t
+(** [run ~domains cfg] — one full service run under the epoch-exchange
+    schedule. [domains <= 1] (default) executes every station sequentially
+    on the calling domain; [domains = n > 1] spawns up to
+    [min n cfg.shards] worker domains for the shard stations, keeping the
+    frontend on the caller. The report is independent of [domains].
+    @raise Invalid_argument when {!Config.validate} rejects the config or
+    the policy is [Delay]. *)

@@ -93,20 +93,18 @@ let shard_sys (cfg : Config.t) s =
 (* Each shard preloads its slice of 1..n_initial in its own scheduler run on
    its own machine; Pmem's new-run detection handles the clock reset when
    the service run starts afterwards at time zero. *)
-let preload_shard router (cfg : Config.t) st s =
+let preload_shard router (cfg : Config.t) kv s =
   let keys = ref [] in
   for k = cfg.Config.n_initial downto 1 do
     if Router.shard_of_key router k = s then keys := k :: !keys
   done;
   let body ~tid =
-    List.iter
-      (fun k -> ignore (st.kv.Kv.upsert ~tid k ((1 lsl 30) + k)))
-      !keys
+    List.iter (fun k -> ignore (kv.Kv.upsert ~tid k ((1 lsl 30) + k))) !keys
   in
-  (match Sim.Sched.run ~machine:(Kv.machine st.kv) [ (s, body) ] with
+  (match Sim.Sched.run ~machine:(Kv.machine kv) [ (s, body) ] with
   | Sim.Sched.Completed _ -> ()
   | Sim.Sched.Crashed_at _ -> assert false);
-  Pmem.reset_counters st.kv.Kv.pmem
+  Pmem.reset_counters kv.Kv.pmem
 
 let composite_machine states =
   let shards = Array.length states in
@@ -215,7 +213,7 @@ let run (cfg : Config.t) =
             }
         | Error e -> invalid_arg ("Svc.Service.run: " ^ e))
   in
-  Array.iteri (fun s st -> preload_shard router cfg st s) states;
+  Array.iteri (fun s st -> preload_shard router cfg st.kv s) states;
   let streams =
     Ycsb.Workload.generate ~seed:cfg.seed ~spec:cfg.workload
       ~n_initial:cfg.n_initial ~threads:cfg.clients

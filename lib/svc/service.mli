@@ -33,6 +33,20 @@
     and therefore every non-span report field, is byte-identical with
     spans on or off. *)
 
+val shard_sys : Config.t -> int -> Harness.Kv.sys
+(** Shard [s]'s Kv system template: the config's [sys] reseeded with
+    [seed + 1000*s] and sized for at least [shards] threads. *)
+
+val preload_shard : Router.t -> Config.t -> Harness.Kv.t -> int -> unit
+(** Preload shard [s]'s slice of keys [1..n_initial] in its own scheduler
+    run on its own machine, then reset its Pmem counters (Pmem's new-run
+    detection handles the clock reset when the service run follows). *)
+
+val config_summary : Config.t -> (string * string) list
+(** Ordered, deterministic key/value rendering of the config — the
+    [config_summary] field of the reports both engines (this one and
+    {!Domains}) produce. *)
+
 val run : Config.t -> Slo.t
 (** One full run: per-shard preload of keys [1..n_initial] (hash-routed),
     then traffic until every client stream ends and every queue drains.
